@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// structCheck compares emergent structural-mode cache behaviour against
+// the calibrated statistical targets.
+func structCheck() {
+	fmt.Println("== structural mode: emergent L1 MPKI vs calibrated APKI (16c, 4MB) ==")
+	for _, w := range workload.Suite() {
+		r, err := sim.RunStructural(sim.StructuralConfig{
+			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		apki := w.EffectiveAPKI(tech.OoO)
+		iT := apki * w.IFetchFrac
+		dT := apki - iT
+		fmt.Printf("  %-16s L1I %5.1f [%5.1f]  L1D %5.1f [%5.1f]  LLCmiss %4.1f%%  IPC %5.2f  mshrStall %.2f%%\n",
+			w.Name, r.L1IMPKI, iT, r.L1DMPKI, dT, r.LLCMissPct, r.AppIPC, r.MSHRStallPct)
+	}
+}

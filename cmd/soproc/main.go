@@ -1,0 +1,61 @@
+// Command soproc regenerates the thesis's tables and figures from the
+// models and simulator in this repository.
+//
+// Usage:
+//
+//	soproc -list            list experiment IDs
+//	soproc -exp fig4.6      run one experiment
+//	soproc -all             run every experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaleout/internal/figures"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs")
+	exp := flag.String("exp", "", "experiment ID to run (e.g. fig2.2, table3.2)")
+	all := flag.Bool("all", false, "run every experiment")
+	format := flag.String("format", "table", "output format: table | csv")
+	flag.Parse()
+
+	render := func(t figures.Table) string {
+		if *format == "csv" {
+			return t.CSV()
+		}
+		return t.String()
+	}
+
+	switch {
+	case *list:
+		for _, id := range figures.IDs() {
+			fmt.Println(id)
+		}
+	case *all:
+		tables, err := figures.RunAll()
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range tables {
+			fmt.Println(render(t))
+		}
+	case *exp != "":
+		t, err := figures.Run(*exp)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(render(t))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "soproc:", err)
+	os.Exit(1)
+}

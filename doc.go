@@ -1,0 +1,13 @@
+// Package scaleout is a from-scratch Go reproduction of "Scale-Out
+// Processors" (Lotfi-Kamran et al., ISCA 2012, and the EPFL thesis no.
+// 5906 that extends it): the performance-density design methodology,
+// pod-based Scale-Out Processors, the NOC-Out microarchitecture, the
+// datacenter TCO study, and the 3D-stacked extension — together with the
+// substrates the study rests on (workload models, an analytic chip
+// performance model, a cycle-level multicore simulator, NoC area/power
+// models, and an EETCO-style cost model).
+//
+// Start with examples/quickstart, or regenerate any of the thesis's
+// tables and figures with cmd/soproc. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package scaleout

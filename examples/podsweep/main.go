@@ -1,0 +1,64 @@
+// Podsweep: the full Chapter 2-3 design-space study. Compares every
+// server-processor organization (conventional, tiled, LLC-optimal,
+// instruction-replicated, ideal, Scale-Out) at 40nm and 20nm, prints the
+// pod performance-density surfaces for both core types, and validates the
+// analytic model against the cycle simulator on one configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaleout/internal/analytic"
+	"scaleout/internal/chip"
+	"scaleout/internal/core"
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+func main() {
+	ws := workload.Suite()
+
+	fmt.Println("== Processor catalog (the thesis's Tables 2.3/2.4/3.2) ==")
+	for _, node := range []tech.Node{tech.N40(), tech.N20()} {
+		fmt.Printf("-- %s --\n", node.Name)
+		for _, s := range chip.Catalog(node, ws) {
+			fmt.Printf("  %-36s PD %.3f  %3d cores  %4.0fMB  %d MCs  %3.0fmm2  %3.0fW\n",
+				s.Name(), s.PD(ws), s.Cores, s.LLCMB, s.MemChannels, s.DieArea(), s.Power())
+		}
+	}
+
+	fmt.Println("\n== Pod PD surface (crossbar, 40nm) ==")
+	for _, coreType := range []tech.CoreType{tech.OoO, tech.InOrder} {
+		fmt.Printf("-- %s cores --\n      ", coreType)
+		for c := 8; c <= 64; c *= 2 {
+			fmt.Printf("%6dc", c)
+		}
+		fmt.Println()
+		for _, llc := range []float64{1, 2, 4, 8} {
+			fmt.Printf("%3.0fMB ", llc)
+			for c := 8; c <= 64; c *= 2 {
+				p := core.Pod{Core: coreType, Cores: c, LLCMB: llc, Net: noc.Crossbar}
+				fmt.Printf("%7.3f", p.PD(tech.N40(), ws))
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("\n== Model validation: simulator vs analytic (16-core pod, 4MB) ==")
+	for _, w := range ws {
+		cfg := sim.Config{
+			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4,
+			Net: noc.New(noc.Crossbar, 16), DisableSWScaling: true,
+		}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model := analytic.ChipIPC(w, analytic.NewDesign(tech.OoO, 16, 4, noc.Crossbar))
+		fmt.Printf("  %-16s sim %5.2f  model %5.2f  (%+.1f%%)\n",
+			w.Name, r.AppIPC, model, 100*(r.AppIPC-model)/model)
+	}
+}

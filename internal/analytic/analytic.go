@@ -1,0 +1,155 @@
+// Package analytic implements the first-order chip performance model the
+// thesis uses for its design-space exploration (Sections 2.4.3 and 3.3).
+// The model extends classical average-memory-access-time analysis: given
+// a core microarchitecture, an LLC capacity, a sharing degree, and an
+// interconnect, it predicts the aggregate number of application
+// instructions committed per cycle. It is parametrized by the same
+// quantities the thesis extracts from simulation — base core performance,
+// cache miss rates, and interconnect delay — which is why Chapter 3 can
+// validate it against cycle-accurate simulation (Figure 3.3); our
+// reproduction of that validation lives in internal/figures.
+package analytic
+
+import (
+	"fmt"
+
+	"scaleout/internal/noc"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// Design identifies one point in the processor design space: a core
+// type, a number of cores sharing one LLC, the LLC capacity, and the
+// interconnect between them.
+type Design struct {
+	Core  tech.CoreType
+	Cores int
+	LLCMB float64
+	Net   noc.Config
+}
+
+// NewDesign builds a design with the interconnect sized for the core count.
+func NewDesign(core tech.CoreType, cores int, llcMB float64, kind noc.Kind) Design {
+	return Design{Core: core, Cores: cores, LLCMB: llcMB, Net: noc.New(kind, cores)}
+}
+
+// Validate reports an error for out-of-range configurations.
+func (d Design) Validate() error {
+	if d.Cores < 1 {
+		return fmt.Errorf("analytic: design with %d cores", d.Cores)
+	}
+	if d.LLCMB <= 0 {
+		return fmt.Errorf("analytic: design with %vMB LLC", d.LLCMB)
+	}
+	return nil
+}
+
+// memQueueMargin is the average queueing, controller, and row-buffer
+// conflict overhead added to the raw 45ns DRAM access latency under load,
+// in cycles (loaded latency ~70-80ns, typical for saturated channels).
+const memQueueMargin = 50
+
+// BankMB returns the capacity of one LLC bank. Following Table 3.1, UCA
+// designs (crossbar, ideal) use one bank per four cores while NUCA
+// designs (mesh and the other packet fabrics) slice the LLC per tile.
+func (d Design) BankMB() float64 {
+	banks := d.Cores
+	if d.Net.Kind == noc.Crossbar || d.Net.Kind == noc.Ideal {
+		banks = (d.Cores + 3) / 4
+	}
+	// A shared cache is always built from at least four banks; fewer
+	// cores do not merge the array into one monolithic structure.
+	if banks < 4 {
+		banks = 4
+	}
+	return d.LLCMB / float64(banks)
+}
+
+// LLCLatency returns the load-to-use LLC hit latency in cycles: bank
+// access plus the network contribution (header latency and data reply
+// serialization).
+func (d Design) LLCLatency() float64 {
+	return float64(tech.LLCBankLatency(d.BankMB())) + d.Net.AccessLatency()
+}
+
+// MemLatency returns the effective off-chip miss latency in cycles: the
+// LLC lookup that detects the miss, the DRAM access, and queueing margin.
+func (d Design) MemLatency() float64 {
+	return float64(tech.LLCBankLatency(d.BankMB())) + d.Net.OneWayLatency() +
+		float64(tech.MemoryLatencyCycles) + memQueueMargin
+}
+
+// PerCoreIPC predicts the application IPC of one core of the design
+// running workload w. The CPI stack is:
+//
+//	CPI = 1/BaseIPC                        issue-limited execution
+//	    + iHit  * Lllc                     I-fetch from LLC, fully exposed
+//	    + dHit  * Lllc * overlap           data from LLC, partly hidden
+//	    + iMiss * Lmem                     I-fetch from memory, exposed
+//	    + dMiss * Lmem / MLP               data from memory, overlapped
+func PerCoreIPC(w workload.Workload, d Design) float64 {
+	acc := w.AccessBreakdown(d.Core, d.LLCMB, d.Cores)
+	lllc := d.LLCLatency()
+	lmem := d.MemLatency()
+
+	cpi := 1 / w.BaseIPC[d.Core]
+	cpi += acc.IHitAPKI / 1000 * lllc
+	cpi += acc.DHitAPKI / 1000 * lllc * w.LLCOverlap[d.Core]
+	cpi += acc.IMissMPKI / 1000 * lmem
+	cpi += acc.DMissMPKI / 1000 * lmem / w.MLP[d.Core]
+	return 1 / cpi
+}
+
+// ChipIPC predicts the aggregate application instructions per cycle of
+// the whole design: cores times per-core IPC. This is the thesis's
+// "performance" metric (Section 2.4.3).
+func ChipIPC(w workload.Workload, d Design) float64 {
+	return float64(d.Cores) * PerCoreIPC(w, d)
+}
+
+// SuiteMeanIPC returns the aggregate IPC averaged (arithmetically, as the
+// thesis's "averaged across all workloads") over the workload suite.
+func SuiteMeanIPC(ws []workload.Workload, d Design) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, w := range ws {
+		sum += ChipIPC(w, d)
+	}
+	return sum / float64(len(ws))
+}
+
+// SuiteMeanPerCoreIPC returns the per-core IPC averaged over workloads.
+func SuiteMeanPerCoreIPC(ws []workload.Workload, d Design) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, w := range ws {
+		sum += PerCoreIPC(w, d)
+	}
+	return sum / float64(len(ws))
+}
+
+// OffChipDemandGBs returns the average off-chip bandwidth demand of the
+// design under workload w.
+func OffChipDemandGBs(w workload.Workload, d Design) float64 {
+	ipc := PerCoreIPC(w, d)
+	return w.OffChipGBs(d.Core, d.LLCMB, d.Cores, ipc)
+}
+
+// WorstCaseDemandGBs returns the peak off-chip demand across the
+// workload suite, the quantity memory channels are provisioned against
+// (Section 2.1.6: "the number of memory interfaces must be chosen based
+// on the worst-case off-chip traffic of the workloads").
+func WorstCaseDemandGBs(ws []workload.Workload, d Design) float64 {
+	peak := 0.0
+	for _, w := range ws {
+		ipc := PerCoreIPC(w, d)
+		if demand := w.PeakOffChipGBs(d.Core, d.LLCMB, d.Cores, ipc); demand > peak {
+			peak = demand
+		}
+	}
+	return peak
+}

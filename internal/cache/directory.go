@@ -1,0 +1,189 @@
+package cache
+
+import "fmt"
+
+// CoherenceState is the per-block directory state of the MESI-style
+// protocol the pods run (Section 4.2.1 describes the traffic it induces).
+type CoherenceState uint8
+
+const (
+	// Invalid: no L1 holds the block.
+	Invalid CoherenceState = iota
+	// Shared: one or more L1s hold a read-only copy.
+	Shared
+	// Modified: exactly one L1 holds a dirty copy.
+	Modified
+)
+
+// String names the state.
+func (s CoherenceState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("CoherenceState(%d)", uint8(s))
+	}
+}
+
+// dirEntry tracks one block's sharers as a bitmap (up to 64 cores per
+// directory domain — a pod never exceeds that).
+type dirEntry struct {
+	state   CoherenceState
+	sharers uint64
+	owner   uint8
+}
+
+// Directory is the LLC-side coherence directory of one pod. It records,
+// for every tracked block, which L1 caches hold it and in what state, and
+// decides which snoop messages each access must generate.
+type Directory struct {
+	cores   int
+	entries map[uint64]*dirEntry
+
+	// Stats
+	Lookups       uint64 // LLC accesses checked against the directory
+	SnoopsSent    uint64 // total snoop messages sent to cores
+	SnoopAccesses uint64 // accesses that triggered at least one snoop
+	Invalidation  uint64 // snoops that were invalidations
+	Forwards      uint64 // snoops that were L1-to-L1 forward requests
+}
+
+// NewDirectory builds a directory for a pod with the given core count.
+func NewDirectory(cores int) (*Directory, error) {
+	if cores < 1 || cores > 64 {
+		return nil, fmt.Errorf("cache: directory for %d cores (1-64 supported)", cores)
+	}
+	return &Directory{cores: cores, entries: make(map[uint64]*dirEntry)}, nil
+}
+
+// Cores returns the directory's domain size.
+func (d *Directory) Cores() int { return d.cores }
+
+// State returns the coherence state of a block.
+func (d *Directory) State(block uint64) CoherenceState {
+	if e, ok := d.entries[block]; ok {
+		return e.state
+	}
+	return Invalid
+}
+
+// Sharers returns the number of L1s holding the block.
+func (d *Directory) Sharers(block uint64) int {
+	e, ok := d.entries[block]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for b := e.sharers; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// AccessResult describes the coherence actions one L1 access triggered.
+type AccessResult struct {
+	// Snoops is the number of snoop messages sent to cores: invalidations
+	// of sharers on a write, or a forward request to the owner of a
+	// modified block.
+	Snoops int
+	// ForwardedFromL1 is true when the data comes from another core's L1
+	// (L1-to-L1 forwarding) rather than the LLC.
+	ForwardedFromL1 bool
+}
+
+// Read records core's read of block and returns the induced actions.
+func (d *Directory) Read(core int, block uint64) AccessResult {
+	d.check(core)
+	d.Lookups++
+	e := d.entry(block)
+	var r AccessResult
+	if e.state == Modified && e.owner != uint8(core) {
+		// Owner must forward the line and downgrade to Shared.
+		r.Snoops = 1
+		r.ForwardedFromL1 = true
+		d.Forwards++
+		d.SnoopsSent++
+		d.SnoopAccesses++
+		e.sharers |= 1 << e.owner
+	}
+	e.state = Shared
+	e.sharers |= 1 << uint(core)
+	return r
+}
+
+// Write records core's write of block: all other sharers are invalidated
+// and the block becomes Modified with core as owner.
+func (d *Directory) Write(core int, block uint64) AccessResult {
+	d.check(core)
+	d.Lookups++
+	e := d.entry(block)
+	var r AccessResult
+	others := e.sharers &^ (1 << uint(core))
+	if e.state == Modified && e.owner != uint8(core) {
+		r.Snoops = 1
+		r.ForwardedFromL1 = true
+		d.Forwards++
+		d.SnoopsSent++
+		d.SnoopAccesses++
+	} else if e.state == Shared && others != 0 {
+		for b := others; b != 0; b &= b - 1 {
+			r.Snoops++
+		}
+		d.Invalidation += uint64(r.Snoops)
+		d.SnoopsSent += uint64(r.Snoops)
+		d.SnoopAccesses++
+	}
+	e.state = Modified
+	e.owner = uint8(core)
+	e.sharers = 1 << uint(core)
+	return r
+}
+
+// EvictL1 records that core dropped its copy (silent S-eviction or a
+// dirty writeback for Modified blocks).
+func (d *Directory) EvictL1(core int, block uint64) {
+	d.check(core)
+	e, ok := d.entries[block]
+	if !ok {
+		return
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.sharers == 0 {
+		delete(d.entries, block)
+		return
+	}
+	if e.state == Modified && e.owner == uint8(core) {
+		e.state = Shared
+	}
+}
+
+// SnoopRate returns the fraction of directory lookups that sent at least
+// one snoop — the quantity Figure 4.3 plots (as a percentage).
+func (d *Directory) SnoopRate() float64 {
+	if d.Lookups == 0 {
+		return 0
+	}
+	return float64(d.SnoopAccesses) / float64(d.Lookups)
+}
+
+// TrackedBlocks returns the number of blocks with at least one sharer.
+func (d *Directory) TrackedBlocks() int { return len(d.entries) }
+
+func (d *Directory) entry(block uint64) *dirEntry {
+	e, ok := d.entries[block]
+	if !ok {
+		e = &dirEntry{}
+		d.entries[block] = e
+	}
+	return e
+}
+
+func (d *Directory) check(core int) {
+	if core < 0 || core >= d.cores {
+		panic(fmt.Sprintf("cache: core %d outside directory domain of %d", core, d.cores))
+	}
+}

@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustDir(t *testing.T, cores int) *Directory {
+	t.Helper()
+	d, err := NewDirectory(cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	if _, err := NewDirectory(0); err == nil {
+		t.Fatal("0-core directory accepted")
+	}
+	if _, err := NewDirectory(65); err == nil {
+		t.Fatal("65-core directory accepted")
+	}
+	if _, err := NewDirectory(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadNoSnoopWhenUnshared(t *testing.T) {
+	d := mustDir(t, 4)
+	r := d.Read(0, 1)
+	if r.Snoops != 0 || r.ForwardedFromL1 {
+		t.Fatalf("first read triggered %+v", r)
+	}
+	if d.State(1) != Shared || d.Sharers(1) != 1 {
+		t.Fatalf("state %v, sharers %d", d.State(1), d.Sharers(1))
+	}
+}
+
+func TestReadSharingGrows(t *testing.T) {
+	d := mustDir(t, 8)
+	for c := 0; c < 8; c++ {
+		if r := d.Read(c, 7); r.Snoops != 0 {
+			t.Fatalf("read by core %d snooped", c)
+		}
+	}
+	if d.Sharers(7) != 8 {
+		t.Fatalf("sharers %d, want 8", d.Sharers(7))
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Read(0, 3)
+	d.Read(1, 3)
+	d.Read(2, 3)
+	r := d.Write(3, 3)
+	if r.Snoops != 3 {
+		t.Fatalf("write snooped %d sharers, want 3", r.Snoops)
+	}
+	if d.State(3) != Modified || d.Sharers(3) != 1 {
+		t.Fatalf("post-write state %v sharers %d", d.State(3), d.Sharers(3))
+	}
+}
+
+func TestWriteByOnlySharerIsSilent(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Read(2, 9)
+	if r := d.Write(2, 9); r.Snoops != 0 {
+		t.Fatalf("upgrade by sole sharer snooped: %+v", r)
+	}
+}
+
+func TestReadOfModifiedForwards(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Write(1, 5)
+	r := d.Read(2, 5)
+	if !r.ForwardedFromL1 || r.Snoops != 1 {
+		t.Fatalf("read of M block: %+v", r)
+	}
+	if d.State(5) != Shared || d.Sharers(5) != 2 {
+		t.Fatalf("after forward: state %v sharers %d", d.State(5), d.Sharers(5))
+	}
+}
+
+func TestWriteOfModifiedByOtherForwards(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Write(0, 5)
+	r := d.Write(1, 5)
+	if !r.ForwardedFromL1 || r.Snoops != 1 {
+		t.Fatalf("write of other's M block: %+v", r)
+	}
+	if d.State(5) != Modified {
+		t.Fatalf("state %v", d.State(5))
+	}
+}
+
+func TestRepeatedWriteByOwnerSilent(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Write(0, 5)
+	if r := d.Write(0, 5); r.Snoops != 0 {
+		t.Fatalf("owner rewrite snooped: %+v", r)
+	}
+}
+
+func TestEvictL1(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Read(0, 2)
+	d.Read(1, 2)
+	d.EvictL1(0, 2)
+	if d.Sharers(2) != 1 {
+		t.Fatalf("sharers %d after evict", d.Sharers(2))
+	}
+	d.EvictL1(1, 2)
+	if d.State(2) != Invalid || d.TrackedBlocks() != 0 {
+		t.Fatal("entry not reclaimed after last evict")
+	}
+	d.EvictL1(3, 99) // absent block: no-op
+}
+
+func TestEvictOwnerDowngrades(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Write(0, 2)
+	d.Read(1, 2)
+	d.EvictL1(0, 2)
+	if d.State(2) == Modified {
+		t.Fatal("state still Modified after owner eviction")
+	}
+}
+
+func TestSnoopRateAccounting(t *testing.T) {
+	d := mustDir(t, 4)
+	d.Read(0, 1)  // no snoop
+	d.Read(1, 1)  // no snoop
+	d.Write(2, 1) // snoops 2 sharers, ONE snoop access
+	if d.Lookups != 3 || d.SnoopAccesses != 1 || d.SnoopsSent != 2 {
+		t.Fatalf("lookups=%d snoopAccesses=%d sent=%d", d.Lookups, d.SnoopAccesses, d.SnoopsSent)
+	}
+	if got, want := d.SnoopRate(), 1.0/3; got != want {
+		t.Fatalf("snoop rate %v, want %v", got, want)
+	}
+	empty := mustDir(t, 2)
+	if empty.SnoopRate() != 0 {
+		t.Fatal("empty directory snoop rate nonzero")
+	}
+}
+
+func TestDirectoryPanicsOnBadCore(t *testing.T) {
+	d := mustDir(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain core accepted")
+		}
+	}()
+	d.Read(4, 0)
+}
+
+// Property: a Modified block has exactly one sharer; Shared blocks have
+// at least one; reads never leave a block Modified by someone else.
+func TestDirectoryInvariants(t *testing.T) {
+	d := mustDir(t, 8)
+	f := func(core uint8, block uint8, write bool) bool {
+		c := int(core % 8)
+		b := uint64(block % 32)
+		if write {
+			d.Write(c, b)
+		} else {
+			d.Read(c, b)
+		}
+		switch d.State(b) {
+		case Modified:
+			return d.Sharers(b) == 1
+		case Shared:
+			return d.Sharers(b) >= 1
+		default:
+			return d.Sharers(b) == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total snoop accesses never exceed lookups, and forwards plus
+// invalidations equal snoops sent.
+func TestDirectoryStatsConsistency(t *testing.T) {
+	d := mustDir(t, 8)
+	f := func(core, block uint8, write bool) bool {
+		c, b := int(core%8), uint64(block%16)
+		if write {
+			d.Write(c, b)
+		} else {
+			d.Read(c, b)
+		}
+		return d.SnoopAccesses <= d.Lookups &&
+			d.Forwards+d.Invalidation == d.SnoopsSent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoherenceStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Fatal("state names")
+	}
+	if CoherenceState(9).String() == "" {
+		t.Fatal("unknown state unnamed")
+	}
+}

@@ -1,0 +1,59 @@
+package cache
+
+import "fmt"
+
+// MSHR is a miss-status holding register file: it bounds the number of
+// outstanding misses a cache can sustain and merges requests to a block
+// that already has a miss in flight (secondary misses).
+type MSHR struct {
+	capacity int
+	inflight map[uint64]int // block -> merged request count
+}
+
+// NewMSHR builds an MSHR file with the given number of entries.
+func NewMSHR(entries int) (*MSHR, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("cache: MSHR with %d entries", entries)
+	}
+	return &MSHR{capacity: entries, inflight: make(map[uint64]int, entries)}, nil
+}
+
+// Capacity returns the total number of entries.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Inflight returns the number of occupied entries.
+func (m *MSHR) Inflight() int { return len(m.inflight) }
+
+// Full reports whether a new primary miss would be rejected.
+func (m *MSHR) Full() bool { return len(m.inflight) >= m.capacity }
+
+// Allocate registers a miss for the block. It returns primary=true if
+// this is a new entry, primary=false if merged into an existing one, and
+// ok=false if the file is full and the block has no entry (the requester
+// must stall).
+func (m *MSHR) Allocate(block uint64) (primary, ok bool) {
+	if n, exists := m.inflight[block]; exists {
+		m.inflight[block] = n + 1
+		return false, true
+	}
+	if m.Full() {
+		return false, false
+	}
+	m.inflight[block] = 1
+	return true, true
+}
+
+// Complete releases the entry for the block when its fill returns,
+// reporting how many merged requests it satisfied (0 if the block had no
+// entry).
+func (m *MSHR) Complete(block uint64) int {
+	n := m.inflight[block]
+	delete(m.inflight, block)
+	return n
+}
+
+// Pending reports whether the block has a miss in flight.
+func (m *MSHR) Pending(block uint64) bool {
+	_, ok := m.inflight[block]
+	return ok
+}

@@ -1,0 +1,87 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSHRValidation(t *testing.T) {
+	if _, err := NewMSHR(0); err == nil {
+		t.Fatal("0-entry MSHR accepted")
+	}
+	m, err := NewMSHR(64)
+	if err != nil || m.Capacity() != 64 {
+		t.Fatalf("m=%v err=%v", m, err)
+	}
+}
+
+func TestMSHRPrimaryAndSecondary(t *testing.T) {
+	m, _ := NewMSHR(2)
+	primary, ok := m.Allocate(1)
+	if !primary || !ok {
+		t.Fatal("first allocation should be a primary miss")
+	}
+	primary, ok = m.Allocate(1)
+	if primary || !ok {
+		t.Fatal("second allocation to same block should merge")
+	}
+	if m.Inflight() != 1 {
+		t.Fatalf("inflight %d, want 1 (merged)", m.Inflight())
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	m, _ := NewMSHR(2)
+	m.Allocate(1)
+	m.Allocate(2)
+	if !m.Full() {
+		t.Fatal("not full at capacity")
+	}
+	if _, ok := m.Allocate(3); ok {
+		t.Fatal("allocation beyond capacity accepted")
+	}
+	// Merging into an existing entry still works when full.
+	if primary, ok := m.Allocate(2); primary || !ok {
+		t.Fatal("merge rejected while full")
+	}
+}
+
+func TestMSHRComplete(t *testing.T) {
+	m, _ := NewMSHR(4)
+	m.Allocate(7)
+	m.Allocate(7)
+	m.Allocate(7)
+	if n := m.Complete(7); n != 3 {
+		t.Fatalf("completed %d merged requests, want 3", n)
+	}
+	if m.Pending(7) || m.Inflight() != 0 {
+		t.Fatal("entry not freed")
+	}
+	if n := m.Complete(7); n != 0 {
+		t.Fatalf("completing absent block returned %d", n)
+	}
+}
+
+// Property: inflight count never exceeds capacity, and Pending agrees
+// with allocate/complete history.
+func TestMSHRInvariant(t *testing.T) {
+	m, _ := NewMSHR(8)
+	f := func(block uint8, complete bool) bool {
+		b := uint64(block % 16)
+		if complete {
+			m.Complete(b)
+			if m.Pending(b) {
+				return false
+			}
+		} else {
+			_, ok := m.Allocate(b)
+			if ok && !m.Pending(b) {
+				return false
+			}
+		}
+		return m.Inflight() <= m.Capacity()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package cache provides the memory-hierarchy building blocks the
+// simulator composes: a set-associative tag array with LRU replacement, a
+// miss-status holding register (MSHR) file, a victim cache, and the
+// directory that tracks coherence state per block (Table 2.2: 16-way LLC,
+// 64B lines, 64 MSHRs, 16-entry victim cache).
+package cache
+
+import "fmt"
+
+// LineBytes is the cache line size used throughout the hierarchy.
+const LineBytes = 64
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Block returns the cache-block index of the address.
+func (a Addr) Block() uint64 { return uint64(a) / LineBytes }
+
+// SetAssoc is a set-associative tag array with true-LRU replacement.
+// It tracks presence and dirtiness only; data payloads are immaterial to
+// timing simulation.
+type SetAssoc struct {
+	sets  int
+	ways  int
+	tags  []uint64 // sets*ways entries; 0 means invalid
+	dirty []bool
+	// lru[i] holds the recency rank of way i within its set: lower is
+	// more recently used.
+	lru []uint8
+}
+
+// NewSetAssoc builds a cache of the given capacity in bytes. Capacity
+// must be a positive multiple of ways*LineBytes and the set count must be
+// a power of two (hardware-indexable).
+func NewSetAssoc(capacityBytes, ways int) (*SetAssoc, error) {
+	if ways <= 0 || ways > 255 {
+		return nil, fmt.Errorf("cache: ways %d out of range", ways)
+	}
+	lines := capacityBytes / LineBytes
+	if lines <= 0 || capacityBytes%LineBytes != 0 {
+		return nil, fmt.Errorf("cache: capacity %dB is not a positive multiple of the %dB line", capacityBytes, LineBytes)
+	}
+	sets := lines / ways
+	if sets <= 0 || lines%ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible into %d ways", lines, ways)
+	}
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	c := &SetAssoc{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		dirty: make([]bool, sets*ways),
+		lru:   make([]uint8, sets*ways),
+	}
+	// Each set starts with a valid recency permutation 0..ways-1 so that
+	// touch() preserves the permutation invariant from the first access.
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			c.lru[s*ways+w] = uint8(w)
+		}
+	}
+	return c, nil
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// CapacityBytes returns the cache capacity.
+func (c *SetAssoc) CapacityBytes() int { return c.sets * c.ways * LineBytes }
+
+func (c *SetAssoc) setOf(block uint64) int { return int(block & uint64(c.sets-1)) }
+
+// tagOf stores block+1 so that tag 0 can mean "invalid".
+func tagOf(block uint64) uint64 { return block + 1 }
+
+// touch promotes way w of set s to most-recently-used.
+func (c *SetAssoc) touch(s, w int) {
+	base := s * c.ways
+	old := c.lru[base+w]
+	for i := 0; i < c.ways; i++ {
+		if c.lru[base+i] < old {
+			c.lru[base+i]++
+		}
+	}
+	c.lru[base+w] = 0
+}
+
+// Lookup probes the cache. If the block is present it is promoted to MRU
+// and hit is true.
+func (c *SetAssoc) Lookup(block uint64) (hit bool) {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == t {
+			c.touch(s, w)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains probes without disturbing LRU state.
+func (c *SetAssoc) Contains(block uint64) bool {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Eviction describes a block displaced by an Insert.
+type Eviction struct {
+	Block uint64
+	Dirty bool
+}
+
+// Insert fills the block, evicting the LRU line of its set if needed.
+// The returned eviction is valid only when evicted is true. Inserting a
+// block that is already present just promotes it.
+func (c *SetAssoc) Insert(block uint64, dirty bool) (ev Eviction, evicted bool) {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	// Full match scan first: the block may be resident in any way.
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == t {
+			c.touch(s, w)
+			if dirty {
+				c.dirty[base+w] = true
+			}
+			return Eviction{}, false
+		}
+	}
+	// Victim selection: an invalid way if one exists, else true LRU.
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			victim = w
+			break
+		}
+		if c.lru[base+w] > c.lru[base+victim] {
+			victim = w
+		}
+	}
+	if c.tags[base+victim] != 0 {
+		ev = Eviction{Block: c.tags[base+victim] - 1, Dirty: c.dirty[base+victim]}
+		evicted = true
+	}
+	c.tags[base+victim] = t
+	c.dirty[base+victim] = dirty
+	c.touch(s, victim)
+	return ev, evicted
+}
+
+// MarkDirty sets the dirty bit if the block is present, reporting whether
+// it was found.
+func (c *SetAssoc) MarkDirty(block uint64) bool {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == t {
+			c.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the block, reporting whether it was present and dirty.
+func (c *SetAssoc) Invalidate(block uint64) (present, dirty bool) {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == t {
+			present, dirty = true, c.dirty[base+w]
+			c.tags[base+w] = 0
+			c.dirty[base+w] = false
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *SetAssoc) Occupancy() int {
+	n := 0
+	for _, t := range c.tags {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}

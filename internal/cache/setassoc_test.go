@@ -1,0 +1,214 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, capacity, ways int) *SetAssoc {
+	t.Helper()
+	c, err := NewSetAssoc(capacity, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewSetAssocValidation(t *testing.T) {
+	cases := []struct {
+		capacity, ways int
+		ok             bool
+	}{
+		{32 * 1024, 2, true},
+		{1024 * 1024, 16, true},
+		{0, 2, false},
+		{4096, 0, false},
+		{4096, 300, false},
+		{100, 2, false},        // not a multiple of the line size
+		{3 * 64 * 2, 2, false}, // 3 sets: not a power of two
+	}
+	for _, c := range cases {
+		_, err := NewSetAssoc(c.capacity, c.ways)
+		if (err == nil) != c.ok {
+			t.Errorf("NewSetAssoc(%d, %d): err=%v, want ok=%v", c.capacity, c.ways, err, c.ok)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := mustCache(t, 32*1024, 2)
+	if c.Sets() != 256 || c.Ways() != 2 {
+		t.Fatalf("32KB 2-way: %d sets x %d ways", c.Sets(), c.Ways())
+	}
+	if c.CapacityBytes() != 32*1024 {
+		t.Fatalf("capacity %d", c.CapacityBytes())
+	}
+}
+
+func TestHitAfterInsert(t *testing.T) {
+	c := mustCache(t, 4096, 4)
+	if c.Lookup(100) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(100, false)
+	if !c.Lookup(100) {
+		t.Fatal("miss after insert")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustCache(t, 2*64, 2) // one set, two ways
+	c.Insert(0, false)
+	c.Insert(1, false)
+	c.Lookup(0) // block 0 now MRU
+	ev, evicted := c.Insert(2, false)
+	if !evicted || ev.Block != 1 {
+		t.Fatalf("expected eviction of LRU block 1, got %+v evicted=%v", ev, evicted)
+	}
+	if !c.Contains(0) || !c.Contains(2) || c.Contains(1) {
+		t.Fatal("wrong residents after eviction")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := mustCache(t, 2*64, 2)
+	c.Insert(0, true)
+	c.Insert(1, false)
+	c.Insert(2, false) // evicts 0 (LRU), which is dirty
+	ev, evicted := c.Insert(3, false)
+	_ = ev
+	_ = evicted
+	// Direct check on the first eviction instead:
+	c2 := mustCache(t, 2*64, 2)
+	c2.Insert(0, true)
+	c2.Insert(1, false)
+	ev2, ev2ok := c2.Insert(2, false)
+	if !ev2ok || ev2.Block != 0 || !ev2.Dirty {
+		t.Fatalf("expected dirty eviction of block 0, got %+v", ev2)
+	}
+}
+
+func TestInsertExistingPromotes(t *testing.T) {
+	c := mustCache(t, 2*64, 2)
+	c.Insert(0, false)
+	c.Insert(1, false)
+	if _, evicted := c.Insert(0, false); evicted {
+		t.Fatal("re-insert evicted")
+	}
+	// 1 is now LRU.
+	ev, evicted := c.Insert(2, false)
+	if !evicted || ev.Block != 1 {
+		t.Fatalf("expected eviction of 1, got %+v", ev)
+	}
+}
+
+func TestMarkDirty(t *testing.T) {
+	c := mustCache(t, 4096, 4)
+	c.Insert(5, false)
+	if !c.MarkDirty(5) {
+		t.Fatal("MarkDirty missed resident block")
+	}
+	if c.MarkDirty(6) {
+		t.Fatal("MarkDirty hit absent block")
+	}
+	present, dirty := c.Invalidate(5)
+	if !present || !dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := mustCache(t, 4096, 4)
+	c.Insert(9, false)
+	present, dirty := c.Invalidate(9)
+	if !present || dirty {
+		t.Fatalf("present=%v dirty=%v", present, dirty)
+	}
+	if c.Contains(9) {
+		t.Fatal("block survived invalidation")
+	}
+	if present, _ := c.Invalidate(9); present {
+		t.Fatal("double invalidation reported present")
+	}
+}
+
+func TestContainsDoesNotPromote(t *testing.T) {
+	c := mustCache(t, 2*64, 2)
+	c.Insert(0, false)
+	c.Insert(1, false)
+	c.Contains(0) // must NOT promote
+	ev, _ := c.Insert(2, false)
+	if ev.Block != 0 {
+		t.Fatalf("Contains promoted block 0: evicted %d", ev.Block)
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	c := mustCache(t, 8192, 4)
+	lines := 8192 / 64
+	for b := uint64(0); b < 10000; b++ {
+		c.Insert(b, b%3 == 0)
+		if occ := c.Occupancy(); occ > lines {
+			t.Fatalf("occupancy %d exceeds %d lines", occ, lines)
+		}
+	}
+	if occ := c.Occupancy(); occ != lines {
+		t.Fatalf("cache not full after 10000 inserts: %d/%d", occ, lines)
+	}
+}
+
+// Property: a block just inserted is always resident; inserting never
+// evicts the block being inserted.
+func TestInsertThenLookupProperty(t *testing.T) {
+	c := mustCache(t, 16*1024, 8)
+	f := func(block uint64, dirty bool) bool {
+		ev, evicted := c.Insert(block, dirty)
+		if evicted && ev.Block == block {
+			return false
+		}
+		return c.Contains(block)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: within one set, the cache retains the most recently used
+// `ways` distinct blocks.
+func TestLRUStackProperty(t *testing.T) {
+	const ways = 4
+	c := mustCache(t, ways*64, ways) // single set
+	var recent []uint64
+	touch := func(b uint64) {
+		for i, x := range recent {
+			if x == b {
+				recent = append(recent[:i], recent[i+1:]...)
+				break
+			}
+		}
+		recent = append(recent, b)
+		if len(recent) > ways {
+			recent = recent[1:]
+		}
+	}
+	f := func(b8 uint8) bool {
+		b := uint64(b8 % 16)
+		c.Insert(b, false)
+		touch(b)
+		for _, x := range recent {
+			if !c.Contains(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrBlock(t *testing.T) {
+	if Addr(0).Block() != 0 || Addr(63).Block() != 0 || Addr(64).Block() != 1 {
+		t.Fatal("Addr.Block misaligned")
+	}
+}

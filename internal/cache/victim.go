@@ -1,0 +1,82 @@
+package cache
+
+import "fmt"
+
+// Victim is the small fully associative victim cache that backs each LLC
+// bank (Table 2.2: 16 entries): blocks evicted from the main array get a
+// second chance, converting a fraction of conflict misses back into hits.
+type Victim struct {
+	capacity int
+	blocks   []uint64 // LRU order: index 0 is the least recently used
+	dirty    []bool
+
+	Hits   uint64
+	Probes uint64
+}
+
+// NewVictim builds a victim cache with the given entry count.
+func NewVictim(entries int) (*Victim, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("cache: victim cache with %d entries", entries)
+	}
+	return &Victim{
+		capacity: entries,
+		blocks:   make([]uint64, 0, entries),
+		dirty:    make([]bool, 0, entries),
+	}, nil
+}
+
+// Capacity returns the entry count.
+func (v *Victim) Capacity() int { return v.capacity }
+
+// Len returns the number of occupied entries.
+func (v *Victim) Len() int { return len(v.blocks) }
+
+// Probe checks for the block; on a hit the entry is removed (the block
+// moves back into the main array) and its dirtiness returned.
+func (v *Victim) Probe(block uint64) (hit, dirty bool) {
+	v.Probes++
+	for i, b := range v.blocks {
+		if b == block {
+			v.Hits++
+			dirty = v.dirty[i]
+			v.blocks = append(v.blocks[:i], v.blocks[i+1:]...)
+			v.dirty = append(v.dirty[:i], v.dirty[i+1:]...)
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Insert stores an evicted block. If the victim cache is full, the LRU
+// entry spills; it is returned so the caller can write it back if dirty.
+func (v *Victim) Insert(block uint64, dirty bool) (spill Eviction, spilled bool) {
+	// Duplicate insert refreshes recency and dirtiness.
+	for i, b := range v.blocks {
+		if b == block {
+			d := v.dirty[i] || dirty
+			v.blocks = append(v.blocks[:i], v.blocks[i+1:]...)
+			v.dirty = append(v.dirty[:i], v.dirty[i+1:]...)
+			v.blocks = append(v.blocks, block)
+			v.dirty = append(v.dirty, d)
+			return Eviction{}, false
+		}
+	}
+	if len(v.blocks) >= v.capacity {
+		spill = Eviction{Block: v.blocks[0], Dirty: v.dirty[0]}
+		spilled = true
+		v.blocks = v.blocks[1:]
+		v.dirty = v.dirty[1:]
+	}
+	v.blocks = append(v.blocks, block)
+	v.dirty = append(v.dirty, dirty)
+	return spill, spilled
+}
+
+// HitRate returns hits over probes (zero when unprobed).
+func (v *Victim) HitRate() float64 {
+	if v.Probes == 0 {
+		return 0
+	}
+	return float64(v.Hits) / float64(v.Probes)
+}

@@ -1,0 +1,92 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVictimValidation(t *testing.T) {
+	if _, err := NewVictim(0); err == nil {
+		t.Fatal("0-entry victim cache accepted")
+	}
+	v, err := NewVictim(16)
+	if err != nil || v.Capacity() != 16 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+}
+
+func TestVictimProbeRemoves(t *testing.T) {
+	v, _ := NewVictim(4)
+	v.Insert(7, true)
+	hit, dirty := v.Probe(7)
+	if !hit || !dirty {
+		t.Fatalf("probe: hit=%v dirty=%v", hit, dirty)
+	}
+	if hit, _ := v.Probe(7); hit {
+		t.Fatal("block survived a promoting probe")
+	}
+	if v.Len() != 0 {
+		t.Fatalf("len %d after promotion", v.Len())
+	}
+}
+
+func TestVictimLRUSpill(t *testing.T) {
+	v, _ := NewVictim(2)
+	v.Insert(1, false)
+	v.Insert(2, true)
+	spill, spilled := v.Insert(3, false)
+	if !spilled || spill.Block != 1 || spill.Dirty {
+		t.Fatalf("spill %+v spilled=%v, want clean block 1", spill, spilled)
+	}
+	spill, spilled = v.Insert(4, false)
+	if !spilled || spill.Block != 2 || !spill.Dirty {
+		t.Fatalf("spill %+v, want dirty block 2", spill)
+	}
+}
+
+func TestVictimDuplicateInsertRefreshes(t *testing.T) {
+	v, _ := NewVictim(2)
+	v.Insert(1, false)
+	v.Insert(2, false)
+	if _, spilled := v.Insert(1, true); spilled {
+		t.Fatal("duplicate insert spilled")
+	}
+	// 2 is now LRU; inserting 3 must spill it, and 1 must carry dirty.
+	if spill, spilled := v.Insert(3, false); !spilled || spill.Block != 2 {
+		t.Fatalf("spill %+v", spill)
+	}
+	if hit, dirty := v.Probe(1); !hit || !dirty {
+		t.Fatalf("block 1: hit=%v dirty=%v, want dirty (merged)", hit, dirty)
+	}
+}
+
+func TestVictimHitRate(t *testing.T) {
+	v, _ := NewVictim(4)
+	if v.HitRate() != 0 {
+		t.Fatal("unprobed hit rate nonzero")
+	}
+	v.Insert(1, false)
+	v.Probe(1)
+	v.Probe(2)
+	if v.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", v.HitRate())
+	}
+}
+
+// Property: occupancy never exceeds capacity and a just-inserted block
+// always probes as a hit.
+func TestVictimInvariant(t *testing.T) {
+	v, _ := NewVictim(8)
+	f := func(block uint8, dirty bool) bool {
+		b := uint64(block % 32)
+		v.Insert(b, dirty)
+		if v.Len() > v.Capacity() {
+			return false
+		}
+		hit, _ := v.Probe(b)
+		return hit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package figures
+
+import (
+	"fmt"
+
+	"scaleout/internal/core"
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+func init() {
+	register("fig3.1", fig31)
+	register("fig3.3", fig33)
+	register("fig3.4", func() (Table, error) { return pdSweep("fig3.4", tech.OoO) })
+	register("fig3.5", fig35)
+	register("fig3.6", func() (Table, error) { return pdSweep("fig3.6", tech.InOrder) })
+	register("table3.2", table32)
+}
+
+// fig31 reproduces the intuition plot of Figure 3.1: as cores share a
+// fixed LLC, per-core performance falls, chip performance grows
+// sub-linearly, and performance density peaks at the balance point.
+func fig31() (Table, error) {
+	ws := workload.Suite()
+	t := Table{
+		ID:      "fig3.1",
+		Title:   "Perf/core, perf/chip, and performance density vs cores",
+		Note:    "crossbar pods, 4MB LLC, OoO cores, 40nm; all normalized to peak",
+		Headers: []string{"Cores", "Perf/Core", "Perf/Chip", "PD"},
+	}
+	n := tech.N40()
+	var perCore, perChip, pd []float64
+	var cores []int
+	for c := 1; c <= 256; c *= 2 {
+		p := core.Pod{Core: tech.OoO, Cores: c, LLCMB: 4, Net: noc.Crossbar}
+		ipc := p.IPC(ws)
+		cores = append(cores, c)
+		perCore = append(perCore, ipc/float64(c))
+		perChip = append(perChip, ipc)
+		pd = append(pd, p.PD(n, ws))
+	}
+	normPeak := func(xs []float64) []float64 {
+		peak := xs[0]
+		for _, x := range xs {
+			if x > peak {
+				peak = x
+			}
+		}
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = x / peak
+		}
+		return out
+	}
+	pcN, chN, pdN := normPeak(perCore), normPeak(perChip), normPeak(pd)
+	for i, c := range cores {
+		t.AddRow(itoa(c), f3(pcN[i]), f3(chN[i]), f3(pdN[i]))
+	}
+	return t, nil
+}
+
+// fig33 validates the analytic model against cycle simulation per
+// workload for designs with OoO cores and a 4MB LLC across three
+// interconnects (Figure 3.3). The simulator includes the software-
+// scalability derating the model deliberately omits, so the two diverge
+// at 32-64 cores on the poorly scaling workloads — as in the thesis.
+func fig33() (Table, error) {
+	n := tech.N40()
+	t := Table{
+		ID:      "fig3.3",
+		Title:   "Model validation: simulation vs analytic PD (OoO, 4MB LLC)",
+		Headers: []string{"Workload", "Net", "Cores", "PD(sim)", "PD(model)", "Err%"},
+	}
+	kinds := []noc.Kind{noc.Ideal, noc.Crossbar, noc.Mesh}
+	for _, w := range workload.Suite() {
+		for _, kind := range kinds {
+			for c := 1; c <= 64; c *= 2 {
+				if c > w.ScaleLimit {
+					continue
+				}
+				p := core.Pod{Core: tech.OoO, Cores: c, LLCMB: 4, Net: kind}
+				model := p.PD(n, workloadSlice(w))
+				r, err := sim.Run(sim.Config{
+					Workload: w, CoreType: tech.OoO, Cores: c, LLCMB: 4,
+					Net: noc.New(kind, c),
+				})
+				if err != nil {
+					return t, err
+				}
+				simPD := r.AppIPC / p.Area(n)
+				errPct := 100 * (simPD - model) / model
+				t.AddRow(w.Name, kind.String(), itoa(c), f3(simPD), f3(model), f1(errPct))
+			}
+		}
+	}
+	return t, nil
+}
+
+func workloadSlice(w workload.Workload) []workload.Workload {
+	return []workload.Workload{w}
+}
+
+// pdSweep renders Figures 3.4 (OoO) and 3.6 (in-order): suite-mean pod
+// performance density across core counts, LLC sizes 1-8MB, and three
+// interconnects.
+func pdSweep(id string, coreType tech.CoreType) (Table, error) {
+	ws := workload.Suite()
+	n := tech.N40()
+	t := Table{
+		ID:      id,
+		Title:   fmt.Sprintf("Performance density sweep (%s cores, 40nm)", coreType),
+		Headers: []string{"LLC(MB)", "Net", "1", "2", "4", "8", "16", "32", "64", "128", "256"},
+	}
+	for _, llc := range []float64{1, 2, 4, 8} {
+		for _, kind := range []noc.Kind{noc.Ideal, noc.Crossbar, noc.Mesh} {
+			row := []string{fg(llc), kind.String()}
+			for c := 1; c <= 256; c *= 2 {
+				p := core.Pod{Core: coreType, Cores: c, LLCMB: llc, Net: kind}
+				row = append(row, f3(p.PD(n, ws)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// fig35 examines crossbar pods across LLC sizes and applies the
+// near-optimal selection rule of Section 3.4.2: the 16-core/4MB pod is
+// adopted because it sits within 5% of the flat 32-core optimum at far
+// lower design complexity.
+func fig35() (Table, error) {
+	ws := workload.Suite()
+	n := tech.N40()
+	t := Table{
+		ID:      "fig3.5",
+		Title:   "PD of crossbar pods (OoO) across LLC sizes; pod selection",
+		Headers: []string{"Pod", "PD", "Note"},
+	}
+	space := core.SweepSpace{Core: tech.OoO, MaxCores: 64,
+		LLCSizes: []float64{1, 2, 4, 8}, Nets: []noc.Kind{noc.Crossbar}}
+	pts := core.Sweep(space, n, ws)
+	opt, err := core.Optimal(pts)
+	if err != nil {
+		return t, err
+	}
+	sel, err := core.NearOptimal(pts, 0.05, 16)
+	if err != nil {
+		return t, err
+	}
+	for _, p := range pts {
+		note := ""
+		if p.Pod == opt.Pod {
+			note = "peak PD"
+		}
+		if p.Pod == sel.Pod {
+			note = "selected (within 5% of peak, modest complexity)"
+		}
+		t.AddRow(p.Pod.String(), f3(p.PD), note)
+	}
+	return t, nil
+}
+
+// table32 extends the catalog with the composed Scale-Out chips and their
+// pod structure at both nodes (Table 3.2).
+func table32() (Table, error) {
+	ws := workload.Suite()
+	t := Table{
+		ID:    "table3.2",
+		Title: "Scale-Out Processors vs existing designs (40nm and 20nm)",
+		Headers: []string{"Node", "Design", "PD", "Cores", "LLC(MB)", "MCs",
+			"Die(mm2)", "Power(W)", "Perf/Watt", "Limit"},
+	}
+	podO := core.Pod{Core: tech.OoO, Cores: 16, LLCMB: 4, Net: noc.Crossbar}
+	podI := core.Pod{Core: tech.InOrder, Cores: 32, LLCMB: 2, Net: noc.Crossbar}
+	for _, n := range []tech.Node{tech.N40(), tech.N20()} {
+		for _, d := range []struct {
+			pod  core.Pod
+			name string
+		}{{podO, "Scale-Out (OoO)"}, {podI, "Scale-Out (In-order)"}} {
+			c, err := core.Compose(n, d.pod, ws)
+			if err != nil {
+				return t, err
+			}
+			t.AddRow(n.Name, fmt.Sprintf("%s %dx%s", d.name, c.Pods, c.Pod),
+				f3(c.PD(ws)), itoa(c.Cores()), fg(c.LLCMB()), itoa(c.MemChannels),
+				f0(c.DieArea()), f0(c.Power()), f2(c.PerfPerWatt(ws)), string(c.Limit))
+		}
+		// Context rows: the strongest competing organizations.
+		cat, err := catalogTable("", n)
+		if err != nil {
+			return t, err
+		}
+		for _, row := range cat.Rows {
+			t.AddRow(append([]string{n.Name}, append(row, "")...)...)
+		}
+	}
+	return t, nil
+}

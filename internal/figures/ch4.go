@@ -1,0 +1,175 @@
+package figures
+
+import (
+	"fmt"
+
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/stats"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+func init() {
+	register("fig4.3", fig43)
+	register("fig4.6", func() (Table, error) { return nocPerf("fig4.6", 0) })
+	register("fig4.7", fig47)
+	register("fig4.8", func() (Table, error) { return nocPerf("fig4.8", nocOutAreaBudget()) })
+	register("power4.4", power44)
+}
+
+// ch4Pod is the Chapter-4 evaluation target: a 64-core pod with an 8MB
+// NUCA LLC and four DDR3 channels at 32nm (Table 4.1).
+const (
+	ch4Cores    = 64
+	ch4LLCMB    = 8.0
+	ch4Channels = 4
+)
+
+// ch4Sim runs one workload on the 64-core pod with the given NoC. For
+// workloads that scale only to 16 or 32 cores, the active cores occupy
+// the pod centre (mesh, flattened butterfly) or the rows adjacent to the
+// LLC (NOC-Out), per Section 4.3.3.
+func ch4Sim(w workload.Workload, kind noc.Kind, linkBits int) (sim.Result, error) {
+	active := ch4Cores
+	if w.ScaleLimit < active {
+		active = w.ScaleLimit
+	}
+	net := noc.New(kind, ch4Cores) // distances are set by the full pod
+	switch {
+	case kind == noc.NOCOut:
+		net.Cores = active // active cores sit in the rows adjacent to the LLC
+	case active < ch4Cores:
+		// Scale-limited workloads run on the pod's centre tiles
+		// (Section 4.3.3): the average distance from the centre region
+		// to a uniformly distributed LLC slice is about a quarter less
+		// than between uniformly random tile pairs.
+		net.WireDelta = -0.25 * net.OneWayLatency()
+	}
+	if linkBits > 0 {
+		net = net.WithLinkBits(linkBits)
+	}
+	return sim.Run(sim.Config{
+		Workload: w, CoreType: tech.OoO, Cores: active, LLCMB: ch4LLCMB,
+		Net: net, MemChannels: ch4Channels,
+	})
+}
+
+// fig43 measures the percentage of LLC accesses that trigger a snoop
+// message (Figure 4.3): negligible coherence activity, ~2.7% on average.
+func fig43() (Table, error) {
+	t := Table{
+		ID:      "fig4.3",
+		Title:   "% of LLC accesses causing a snoop message to be sent to a core",
+		Note:    "64-core pod simulation with a real coherence directory",
+		Headers: []string{"Workload", "Snoop %"},
+	}
+	var vals []float64
+	for _, w := range workload.Suite() {
+		r, err := ch4Sim(w, noc.Mesh, 0)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(w.Name, f1(r.SnoopRatePct))
+		vals = append(vals, r.SnoopRatePct)
+	}
+	mean, err := stats.Mean(vals)
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("Mean", f1(mean))
+	return t, nil
+}
+
+// nocPerf renders Figures 4.6 (full-width links) and 4.8 (links narrowed
+// until every NoC fits NOC-Out's area): per-workload performance of the
+// mesh, flattened butterfly, and NOC-Out organizations, normalized to the
+// mesh, with the geometric mean.
+func nocPerf(id string, areaBudget float64) (Table, error) {
+	t := Table{
+		ID:      id,
+		Title:   "System performance normalized to the mesh-based design",
+		Headers: []string{"Workload", "Mesh", "FBfly", "NOC-Out"},
+	}
+	if areaBudget > 0 {
+		t.Note = fmt.Sprintf("all NoCs constrained to %.1fmm2", areaBudget)
+	}
+	kinds := []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut}
+	ratios := map[noc.Kind][]float64{}
+	for _, w := range workload.Suite() {
+		var perf [3]float64
+		for i, kind := range kinds {
+			bits := 0
+			if areaBudget > 0 && kind != noc.NOCOut {
+				bits = noc.New(kind, ch4Cores).LinkBitsForArea(areaBudget)
+			}
+			r, err := ch4Sim(w, kind, bits)
+			if err != nil {
+				return t, err
+			}
+			perf[i] = r.AppIPC
+		}
+		t.AddRow(w.Name, "1.00", f2(perf[1]/perf[0]), f2(perf[2]/perf[0]))
+		ratios[noc.FlattenedButterfly] = append(ratios[noc.FlattenedButterfly], perf[1]/perf[0])
+		ratios[noc.NOCOut] = append(ratios[noc.NOCOut], perf[2]/perf[0])
+	}
+	gmF, err := stats.GeoMean(ratios[noc.FlattenedButterfly])
+	if err != nil {
+		return t, err
+	}
+	gmN, err := stats.GeoMean(ratios[noc.NOCOut])
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("GMean", "1.00", f2(gmF), f2(gmN))
+	return t, nil
+}
+
+// nocOutAreaBudget returns NOC-Out's total NoC area on the 64-core pod —
+// the constraint of the Section 4.4.3 area-normalized study.
+func nocOutAreaBudget() float64 {
+	return noc.New(noc.NOCOut, ch4Cores).Area().Total()
+}
+
+// fig47 breaks the NoC area of the three organizations into links,
+// buffers, and crossbars (Figure 4.7).
+func fig47() (Table, error) {
+	t := Table{
+		ID:      "fig4.7",
+		Title:   "NOC area breakdown (mm2), 64-core pod, 128-bit links",
+		Headers: []string{"NoC", "Links", "Buffers", "Crossbar", "Total"},
+	}
+	for _, kind := range []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut} {
+		a := noc.New(kind, ch4Cores).Area()
+		t.AddRow(kind.String(), f2(a.LinksMM2), f2(a.BuffersMM2), f2(a.CrossbarMM2), f2(a.Total()))
+	}
+	return t, nil
+}
+
+// power44 evaluates NoC power at the measured LLC access rate of the
+// 64-core pod (Section 4.4.4): below 2W everywhere, link-dominated,
+// NOC-Out most efficient.
+func power44() (Table, error) {
+	t := Table{
+		ID:      "power4.4",
+		Title:   "NOC power at scale-out load (W), 64-core pod",
+		Headers: []string{"NoC", "Links", "Routers", "Total"},
+	}
+	for _, kind := range []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut} {
+		// Average LLC access rate across workloads from simulation.
+		var aps float64
+		n := 0
+		for _, w := range workload.Suite() {
+			r, err := ch4Sim(w, kind, 0)
+			if err != nil {
+				return t, err
+			}
+			aps += float64(r.LLCAccesses) / float64(r.Cycles) * tech.ClockGHz * 1e9
+			n++
+		}
+		aps /= float64(n)
+		p := noc.New(kind, ch4Cores).PowerW(aps)
+		t.AddRow(kind.String(), f2(p.LinksW), f2(p.RoutersW), f2(p.Total()))
+	}
+	return t, nil
+}

@@ -1,0 +1,142 @@
+// Package figures regenerates every table and figure of the thesis's
+// evaluation. Each experiment is a named generator returning a Table —
+// the same rows/series the thesis reports — produced by running the
+// analytic model, the cycle-level simulator, the NoC models, the TCO
+// model, or the 3D composer, as the thesis did for that artifact.
+// EXPERIMENTS.md records paper-vs-measured for each.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, column headers, and
+// string rows (already formatted to the precision the figure warrants).
+type Table struct {
+	ID      string
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first), for
+// piping into plotting tools.
+func (t Table) CSV() string {
+	var b strings.Builder
+	quote := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	quote(t.Headers)
+	for _, row := range t.Rows {
+		quote(row)
+	}
+	return b.String()
+}
+
+// Generator produces one experiment's table.
+type Generator func() (Table, error)
+
+// registry maps experiment IDs to generators.
+var registry = map[string]Generator{}
+
+func register(id string, g Generator) {
+	if _, dup := registry[id]; dup {
+		panic("figures: duplicate experiment " + id)
+	}
+	registry[id] = g
+}
+
+// IDs returns the registered experiment identifiers in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run generates the experiment with the given ID.
+func Run(id string) (Table, error) {
+	g, ok := registry[id]
+	if !ok {
+		return Table{}, fmt.Errorf("figures: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return g()
+}
+
+// RunAll generates every experiment in ID order.
+func RunAll() ([]Table, error) {
+	var out []Table
+	for _, id := range IDs() {
+		t, err := Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
+func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
+func itoa(x int) string   { return fmt.Sprintf("%d", x) }
+func fg(x float64) string { return fmt.Sprintf("%g", x) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+package figures
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The full experiment inventory of DESIGN.md must be registered.
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{
+		// Thesis artifacts (DESIGN.md per-experiment index).
+		"fig2.1", "fig2.2", "fig2.3", "table2.3", "table2.4",
+		"fig3.1", "fig3.3", "fig3.4", "fig3.5", "fig3.6", "table3.2",
+		"fig4.3", "fig4.6", "fig4.7", "fig4.8", "power4.4",
+		"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5",
+		"fig6.4", "fig6.5", "fig6.6", "fig6.7", "table6.2",
+		// Ablations of our design choices.
+		"ablate.pods", "ablate.llc", "ablate.banks", "ablate.mshr",
+		"ablate.linkwidth", "ablate.sharing", "ablate.tco",
+		// Extensions (thesis future work).
+		"ext.hetero", "ext.dvfs", "ext.structural", "ext.nocout-scale",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registered %d experiments, inventory has %d", len(IDs()), len(want))
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig9.9"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func runExp(t *testing.T, id string) Table {
+	t.Helper()
+	tab, err := Run(id)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tab.Rows) == 0 || len(tab.Headers) == 0 {
+		t.Fatalf("%s: empty table", id)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Headers) {
+			t.Fatalf("%s row %d: %d cells, %d headers", id, i, len(row), len(tab.Headers))
+		}
+	}
+	return tab
+}
+
+func cell(t *testing.T, tab Table, rowPrefix, header string) float64 {
+	t.Helper()
+	col := -1
+	for i, h := range tab.Headers {
+		if h == header {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("%s: no column %q", tab.ID, header)
+	}
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], rowPrefix) {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "*"), 64)
+			if err != nil {
+				t.Fatalf("%s[%s][%s] = %q: %v", tab.ID, rowPrefix, header, row[col], err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("%s: no row starting %q", tab.ID, rowPrefix)
+	return 0
+}
+
+// Figure 2.1: Media Streaming below 1 IPC; every workload far below the
+// 4-wide peak; Web Search the highest.
+func TestFig21Shape(t *testing.T) {
+	tab := runExp(t, "fig2.1")
+	ms := cell(t, tab, "Media Streaming", "App IPC")
+	wsr := cell(t, tab, "Web Search", "App IPC")
+	if ms >= 1 {
+		t.Errorf("Media Streaming IPC %v, thesis <1", ms)
+	}
+	if wsr <= 1 || wsr >= 2.5 {
+		t.Errorf("Web Search IPC %v, thesis in (1,2)", wsr)
+	}
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		if v >= 2.6 {
+			t.Errorf("%s IPC %v too close to the 4-wide peak", row[0], v)
+		}
+	}
+}
+
+// Figure 2.2: most workloads saturate by 8MB; capacity beyond 16MB is
+// detrimental; MapReduce-C and SAT Solver gain the most from 1->16MB.
+func TestFig22Shape(t *testing.T) {
+	tab := runExp(t, "fig2.2")
+	for _, row := range tab.Rows {
+		p16, _ := strconv.ParseFloat(row[5], 64)
+		p32, _ := strconv.ParseFloat(row[6], 64)
+		if p32 >= p16 {
+			t.Errorf("%s: 32MB (%v) not worse than 16MB (%v)", row[0], p32, p16)
+		}
+	}
+	sat := cell(t, tab, "SAT Solver", "16MB")
+	msr := cell(t, tab, "Media Streaming", "16MB")
+	if sat <= msr {
+		t.Errorf("SAT Solver 16MB gain %v not above Media Streaming's %v", sat, msr)
+	}
+	if sat < 1.10 || sat > 1.45 {
+		t.Errorf("SAT Solver 1->16MB gain %v, thesis 12-24%%", sat)
+	}
+}
+
+// Figure 2.3: the mesh design loses >15% of the ideal chip throughput at
+// 256 cores (thesis: 28%), and per-core ideal degradation stays small.
+func TestFig23Shape(t *testing.T) {
+	tab := runExp(t, "fig2.3")
+	ideal := cell(t, tab, "256", "Chip(Ideal)")
+	mesh := cell(t, tab, "256", "Chip(Mesh)")
+	loss := 1 - mesh/ideal
+	if loss < 0.1 || loss > 0.5 {
+		t.Errorf("mesh loss at 256 cores %v, thesis ~28%%", loss)
+	}
+	perCore := cell(t, tab, "256", "PerCore(Ideal)")
+	if perCore < 0.6 {
+		t.Errorf("ideal per-core at 256 cores fell to %v; thesis: small degradation", perCore)
+	}
+}
+
+// Tables 2.3/2.4: Scale-Out tops every realizable design; Ideal tops all.
+func TestCatalogTablesShape(t *testing.T) {
+	for _, id := range []string{"table2.3", "table2.4"} {
+		tab := runExp(t, id)
+		conv := cell(t, tab, "Conventional", "PD")
+		soI := cell(t, tab, "Scale-Out (In-order)", "PD")
+		idealI := cell(t, tab, "Ideal (In-order)", "PD")
+		if !(conv < soI && soI < idealI) {
+			t.Errorf("%s: PD ordering conv %v < scale-out %v < ideal %v violated",
+				id, conv, soI, idealI)
+		}
+	}
+}
+
+// Figure 3.1: performance density peaks strictly between the extremes.
+func TestFig31Shape(t *testing.T) {
+	tab := runExp(t, "fig3.1")
+	first, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][3], 64)
+	if first >= 1 || last >= 1 {
+		t.Errorf("PD peak at an extreme: first %v last %v", first, last)
+	}
+}
+
+// Figure 3.3: the model tracks simulation within ~15% up to 16 cores.
+func TestFig33Validation(t *testing.T) {
+	tab := runExp(t, "fig3.3")
+	for _, row := range tab.Rows {
+		cores, _ := strconv.Atoi(row[2])
+		if cores > 16 {
+			continue
+		}
+		errPct, _ := strconv.ParseFloat(row[5], 64)
+		if errPct > 17 || errPct < -17 {
+			t.Errorf("%s/%s at %s cores: %v%% model error", row[0], row[1], row[2], errPct)
+		}
+	}
+}
+
+// Figure 4.3: snoop rates small, with a mean near the thesis's 2.7%.
+func TestFig43Shape(t *testing.T) {
+	tab := runExp(t, "fig4.3")
+	mean := cell(t, tab, "Mean", "Snoop %")
+	if mean < 1.5 || mean > 4.5 {
+		t.Errorf("mean snoop rate %v%%, thesis ~2.7%%", mean)
+	}
+}
+
+// Figure 4.6: the flattened butterfly beats the mesh by ~20% geomean and
+// NOC-Out matches or exceeds it.
+func TestFig46Shape(t *testing.T) {
+	tab := runExp(t, "fig4.6")
+	fb := cell(t, tab, "GMean", "FBfly")
+	no := cell(t, tab, "GMean", "NOC-Out")
+	if fb < 1.1 || fb > 1.5 {
+		t.Errorf("fbfly geomean %v, thesis ~1.21", fb)
+	}
+	if no < fb*0.95 {
+		t.Errorf("NOC-Out geomean %v well below fbfly %v; thesis: parity", no, fb)
+	}
+}
+
+// Figure 4.8: at a fixed NOC area, NOC-Out leads the narrowed flattened
+// butterfly decisively (thesis: ~75%) and the mesh clearly (thesis ~24%).
+func TestFig48Shape(t *testing.T) {
+	tab := runExp(t, "fig4.8")
+	fb := cell(t, tab, "GMean", "FBfly")
+	no := cell(t, tab, "GMean", "NOC-Out")
+	if no/fb < 1.3 {
+		t.Errorf("area-normalized NOC-Out/fbfly %v, thesis ~1.75", no/fb)
+	}
+	if no < 1.1 {
+		t.Errorf("area-normalized NOC-Out vs mesh %v, thesis ~1.24", no)
+	}
+}
+
+// power4.4: everything under 2.5W, NOC-Out cheapest, links dominate.
+func TestPower44Shape(t *testing.T) {
+	tab := runExp(t, "power4.4")
+	mesh := cell(t, tab, "Mesh", "Total")
+	no := cell(t, tab, "NOC-Out", "Total")
+	if mesh > 2.5 || no > 2.5 {
+		t.Errorf("NoC power above 2.5W: mesh %v nocout %v", mesh, no)
+	}
+	if no >= mesh {
+		t.Errorf("NOC-Out power %v not below mesh %v", no, mesh)
+	}
+}
+
+// Figure 5.1: in-order Scale-Out highest; 1pod ~4.4x conventional.
+func TestFig51Shape(t *testing.T) {
+	tab := runExp(t, "fig5.1")
+	onePod := cell(t, tab, "1Pod (OoO)", "Perf (norm)")
+	soI := cell(t, tab, "Scale-Out (In-order)", "Perf (norm)")
+	if onePod < 3.2 || onePod > 5.6 {
+		t.Errorf("1pod datacenter speedup %v, thesis 4.4", onePod)
+	}
+	for _, row := range tab.Rows {
+		v, _ := strconv.ParseFloat(row[3], 64)
+		if v > soI+1e-9 {
+			t.Errorf("%s (%v) above Scale-Out In-order (%v)", row[0], v, soI)
+		}
+	}
+}
+
+// Table 6.2 / Figures 6.5, 6.7: stacking helps; the in-order 3-die point
+// flips to fixed-distance.
+func TestCh6Shapes(t *testing.T) {
+	tab := runExp(t, "fig6.7")
+	var pd1, fd3 float64
+	for _, row := range tab.Rows {
+		if row[0] == "1" {
+			pd1, _ = strconv.ParseFloat(row[5], 64)
+		}
+		if row[0] == "3" && row[1] == "Fixed-Distance" {
+			fd3, _ = strconv.ParseFloat(row[5], 64)
+		}
+	}
+	if fd3 <= pd1 {
+		t.Errorf("3-die fixed-distance PD %v not above the 2D baseline %v", fd3, pd1)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{ID: "x", Title: "T", Note: "n", Headers: []string{"A", "B"}}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	for _, want := range []string{"x — T", "(n)", "A", "1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package noc
+
+import "math"
+
+// AreaBreakdown is the NOC die-area decomposition of Figure 4.7: link
+// repeaters (wires route over tiles; only repeaters cost area), packet
+// buffers, and router switch fabric.
+type AreaBreakdown struct {
+	LinksMM2    float64
+	BuffersMM2  float64
+	CrossbarMM2 float64
+}
+
+// Total returns the summed NOC area.
+func (a AreaBreakdown) Total() float64 {
+	return a.LinksMM2 + a.BuffersMM2 + a.CrossbarMM2
+}
+
+// ORION-like area coefficients at the 32nm evaluation node. Calibrated so
+// that the three Chapter-4 organizations land on the thesis totals: mesh
+// ~3.5mm^2, flattened butterfly ~23mm^2, NOC-Out ~2.5mm^2 at 128-bit links
+// on a 64-core pod (Figure 4.7 and Section 4.4.2).
+const (
+	repeaterMM2PerMMBit = 2.6e-5  // link repeater area per mm of wire per bit
+	ffBufferMM2PerBit   = 2.05e-6 // flip-flop buffer area per bit (mesh, NOC-Out)
+	sramBufferMM2PerBit = 1.15e-6 // SRAM buffer area per bit (flattened butterfly)
+	xbarMM2PerPort2Bit  = 3.3e-6  // switch fabric area per port^2 per bit
+)
+
+// routerCfg describes one router population for area accounting.
+type routerCfg struct {
+	count     int
+	ports     int
+	vcsPerVC  int // virtual channels per port
+	flitsPerV int // flit buffers per VC
+	sram      bool
+}
+
+func (r routerCfg) bufferBits(width int) float64 {
+	return float64(r.count * r.ports * r.vcsPerVC * r.flitsPerV * width)
+}
+
+func (r routerCfg) bufferArea(width int) float64 {
+	per := ffBufferMM2PerBit
+	if r.sram {
+		per = sramBufferMM2PerBit
+	}
+	return r.bufferBits(width) * per
+}
+
+func (r routerCfg) xbarArea(width int) float64 {
+	return float64(r.count) * float64(r.ports*r.ports) * float64(width) * xbarMM2PerPort2Bit
+}
+
+// rowPairWireMM returns the total wire length of a fully connected row of
+// k tiles with pitch edge mm: sum over ordered pairs of |i-j|*edge.
+func rowPairWireMM(k int, edge float64) float64 {
+	total := 0.0
+	for d := 1; d < k; d++ {
+		total += float64(d * (k - d))
+	}
+	return total * edge
+}
+
+// Area returns the NOC area breakdown for this configuration.
+func (c Config) Area() AreaBreakdown {
+	w := c.linkBits()
+	edge := c.tileEdge()
+	switch c.Kind {
+	case Ideal:
+		return AreaBreakdown{} // abstraction; no physical cost modelled
+	case Crossbar:
+		// One central crossbar with cores+banks ports; latency-oriented
+		// model with a small amount of per-port buffering.
+		ports := c.Cores + max(1, c.Cores/4)
+		r := routerCfg{count: 1, ports: ports, vcsPerVC: 2, flitsPerV: 2}
+		// Dancehall wiring: every core runs a channel to the centre.
+		wire := float64(c.Cores) * edge * float64(gridSide(c.Cores)) / 2
+		return AreaBreakdown{
+			LinksMM2:    wire * float64(w) * repeaterMM2PerMMBit,
+			BuffersMM2:  r.bufferArea(w),
+			CrossbarMM2: r.xbarArea(w) * 0.12, // a flat fabric, not per-tile routers
+		}
+	case Mesh:
+		k := gridSide(c.Cores)
+		r := routerCfg{count: c.Cores, ports: 5, vcsPerVC: 3, flitsPerV: 5}
+		// 2*k*(k-1) bidirectional channels, two unidirectional links each.
+		wire := 2 * float64(2*k*(k-1)) * edge
+		return AreaBreakdown{
+			LinksMM2:    wire * float64(w) * repeaterMM2PerMMBit,
+			BuffersMM2:  r.bufferArea(w),
+			CrossbarMM2: r.xbarArea(w),
+		}
+	case FlattenedButterfly:
+		k := gridSide(c.Cores)
+		r := routerCfg{count: c.Cores, ports: 2*(k-1) + 1, vcsPerVC: 3, flitsPerV: 8, sram: true}
+		// Full row connectivity in both dimensions, both directions.
+		wire := 2 * float64(2*k) * rowPairWireMM(k, edge)
+		return AreaBreakdown{
+			LinksMM2:    wire * float64(w) * repeaterMM2PerMMBit,
+			BuffersMM2:  r.bufferArea(w),
+			CrossbarMM2: r.xbarArea(w),
+		}
+	case NOCOut:
+		return c.nocOutArea()
+	default:
+		panic("noc: unknown interconnect kind")
+	}
+}
+
+func (c Config) nocOutArea() AreaBreakdown {
+	w := c.linkBits()
+	edge := c.tileEdge()
+	tiles := c.llcTiles()
+	cols := 2 * tiles
+	conc := c.Concentration
+	if conc < 1 {
+		conc = 1
+	}
+	rows := int(math.Ceil(float64(c.Cores) / float64(cols*conc)))
+	if rows < 1 {
+		rows = 1
+	}
+	// Reduction and dispersion trees: one mux/demux node per (group of
+	// concentrated) cores, local ports per concentrated core plus the
+	// network port, two VCs, shallow buffers; links run down each column.
+	nodes := (c.Cores + conc - 1) / conc
+	tree := routerCfg{count: nodes, ports: conc + 1, vcsPerVC: 2, flitsPerV: 3}
+	treeWire := float64(cols) * float64(rows) * edge
+	if c.ExpressLinks && rows > 4 {
+		treeWire *= 1.5 // express channels overlay the column links
+	}
+	treeArea := AreaBreakdown{
+		LinksMM2:   treeWire * float64(w) * repeaterMM2PerMMBit,
+		BuffersMM2: tree.bufferArea(w),
+		// A two-input mux is negligible next to a 5-port crossbar: model
+		// it as a 2-port fabric.
+		CrossbarMM2: tree.xbarArea(w) * 0.5,
+	}
+	treeArea.LinksMM2 *= 2 // reduction + dispersion are separate networks
+	treeArea.BuffersMM2 *= 2
+	treeArea.CrossbarMM2 *= 2
+
+	// LLC network: a 1D flattened butterfly over the LLC tiles, each
+	// router with tiles-1 row ports, one local port and two tree ports.
+	llc := routerCfg{count: tiles, ports: tiles + 2, vcsPerVC: 3, flitsPerV: 8, sram: true}
+	llcWire := 2 * rowPairWireMM(tiles, edge)
+	return AreaBreakdown{
+		LinksMM2:    treeArea.LinksMM2 + llcWire*float64(w)*repeaterMM2PerMMBit,
+		BuffersMM2:  treeArea.BuffersMM2 + llc.bufferArea(w),
+		CrossbarMM2: treeArea.CrossbarMM2 + llc.xbarArea(w),
+	}
+}
+
+// LinkBitsForArea returns the widest link width (a multiple of 8, at
+// least 8) whose resulting NOC area does not exceed budget mm^2 — the
+// area-normalized comparison of Section 4.4.3.
+func (c Config) LinkBitsForArea(budget float64) int {
+	for bits := c.linkBits(); bits > 8; bits -= 8 {
+		if c.WithLinkBits(bits).Area().Total() <= budget {
+			return bits
+		}
+	}
+	return 8
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,258 @@
+// Package noc models the on-chip interconnects the thesis evaluates:
+// an ideal fixed-latency network, a crossbar (dancehall), a 2D mesh, a
+// flattened butterfly, and NOC-Out — the reduction-tree / dispersion-tree
+// / LLC-butterfly organization of Chapter 4.
+//
+// The package answers three questions about each network:
+//
+//  1. latency — zero-load one-way header latency from a core to the LLC
+//     (Tables 2.2 and 3.1 give the calibrated values: ideal 4 cycles;
+//     crossbar 4/5/7/11 cycles at <=8/16/32/64 cores; mesh 3 cycles/hop),
+//     plus serialization delay as a function of link width;
+//  2. area — an ORION-like parametric breakdown into links (repeaters),
+//     buffers, and crossbar switch fabric (Figure 4.7);
+//  3. power — link-dominated traversal energy at a given traffic load
+//     (Section 4.4.4).
+package noc
+
+import (
+	"fmt"
+	"math"
+
+	"scaleout/internal/tech"
+)
+
+// Kind enumerates the interconnect organizations.
+type Kind int
+
+const (
+	// Ideal is the fixed 4-cycle interconnect used as the upper bound.
+	Ideal Kind = iota
+	// Crossbar is the dancehall crossbar of conventional processors and
+	// small pods; its latency grows quickly beyond 16-32 ports.
+	Crossbar
+	// Mesh is the routed, packet-based multi-hop grid of tiled designs.
+	Mesh
+	// FlattenedButterfly is the richly connected low-diameter topology.
+	FlattenedButterfly
+	// NOCOut is the thesis's reduction/dispersion-tree organization with
+	// a small flattened butterfly connecting only the LLC tiles.
+	NOCOut
+)
+
+// String names the interconnect as in the thesis.
+func (k Kind) String() string {
+	switch k {
+	case Ideal:
+		return "Ideal"
+	case Crossbar:
+		return "Crossbar"
+	case Mesh:
+		return "Mesh"
+	case FlattenedButterfly:
+		return "Flattened Butterfly"
+	case NOCOut:
+		return "NOC-Out"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DefaultLinkBits is the baseline link width used in Chapter 4.
+const DefaultLinkBits = 128
+
+// Packet sizes: a request is a single header flit; a data reply carries a
+// 64-byte line plus a header.
+const (
+	requestBytes = 8
+	replyBytes   = tech.CacheLineBytes + 8
+)
+
+// Config describes one interconnect instance.
+type Config struct {
+	Kind     Kind
+	Cores    int     // number of core endpoints
+	LLCTiles int     // NOC-Out: LLC tiles in the central row (default 8)
+	TileEdge float64 // tile edge length in mm (for wire length and delay)
+	LinkBits int     // link width in bits (default 128)
+
+	// WireDelta adjusts the header latency by the given number of
+	// cycles (may be negative). 3D-stacked pods use it to model the
+	// shorter horizontal wires when a pod folds across dies (Chapter 6),
+	// and fixed-distance pods to model wider-port arbitration. The total
+	// latency never drops below 2 cycles.
+	WireDelta float64
+
+	// NOC-Out scalability mechanisms (Section 4.5.1), for pods beyond
+	// 64 cores. Concentration aggregates that many cores at each tree
+	// node (default 1), shortening the trees at one extra arbitration
+	// cycle. ExpressLinks bypass every other tree node in tall trees,
+	// halving the hop count at extra channel cost.
+	Concentration int
+	ExpressLinks  bool
+}
+
+// New returns a Config with defaults filled in. Packet-switched fabrics
+// (mesh, flattened butterfly, NOC-Out) default to 128-bit links; the
+// dancehall crossbar and the ideal interconnect use wide 256-bit
+// datapaths, as crossbar-based designs do not flit-serialize lines.
+func New(kind Kind, cores int) Config {
+	bits := DefaultLinkBits
+	if kind == Crossbar || kind == Ideal {
+		bits = 256
+	}
+	return Config{Kind: kind, Cores: cores, LLCTiles: 8, TileEdge: 1.83, LinkBits: bits}
+}
+
+// WithLinkBits returns a copy with the given link width (area-normalized
+// studies shrink links until areas match, Section 4.4.3).
+func (c Config) WithLinkBits(bits int) Config {
+	c.LinkBits = bits
+	return c
+}
+
+func (c Config) llcTiles() int {
+	if c.LLCTiles <= 0 {
+		return 8
+	}
+	return c.LLCTiles
+}
+
+func (c Config) linkBits() int {
+	if c.LinkBits <= 0 {
+		return DefaultLinkBits
+	}
+	return c.LinkBits
+}
+
+func (c Config) tileEdge() float64 {
+	if c.TileEdge <= 0 {
+		return 1.83
+	}
+	return c.TileEdge
+}
+
+// gridSide returns the side of the smallest square grid holding n tiles.
+func gridSide(n int) int {
+	if n < 1 {
+		return 1
+	}
+	k := int(math.Ceil(math.Sqrt(float64(n))))
+	return k
+}
+
+// meshAvgHops is the mean Manhattan distance between two uniformly random
+// tiles on a k-by-k grid: 2/3 * (k - 1/k).
+func meshAvgHops(k int) float64 {
+	if k <= 1 {
+		return 1
+	}
+	return 2.0 / 3.0 * (float64(k) - 1/float64(k))
+}
+
+// CrossbarLatency returns the one-way crossbar traversal latency for n
+// endpoints (Table 3.1): 4 cycles up to 8 endpoints, then 5, 7, 11 at
+// 16, 32, 64, with the increment doubling per further doubling — the poor
+// scalability that motivates pods.
+func CrossbarLatency(n int) float64 {
+	if n <= 8 {
+		return 4
+	}
+	lat, inc := 4.0, 1.0
+	for size := 16; ; size *= 2 {
+		lat += inc
+		if n <= size {
+			return lat
+		}
+		inc *= 2
+	}
+}
+
+// OneWayLatency returns the zero-load header latency, in cycles, from a
+// core to an LLC bank (averaged over banks), including any 3D wire delta.
+func (c Config) OneWayLatency() float64 {
+	lat := c.baseLatency() + c.WireDelta
+	if lat < 2 {
+		lat = 2
+	}
+	return lat
+}
+
+func (c Config) baseLatency() float64 {
+	switch c.Kind {
+	case Ideal:
+		return 4
+	case Crossbar:
+		return CrossbarLatency(c.Cores)
+	case Mesh:
+		k := gridSide(c.Cores)
+		return 3 * meshAvgHops(k)
+	case FlattenedButterfly:
+		// At most one hop per dimension; each hop is a 3-stage router
+		// plus a link covering up to two tiles per cycle.
+		k := gridSide(c.Cores)
+		avgSpan := (float64(k) + 1) / 3 // mean |i-j| along one dimension
+		linkCycles := math.Ceil(avgSpan / 2)
+		hops := 2.0
+		if k <= 1 {
+			hops = 1
+		}
+		return hops * (3 + linkCycles)
+	case NOCOut:
+		return c.nocOutLatency()
+	default:
+		panic("noc: unknown interconnect kind")
+	}
+}
+
+// nocOutLatency models the reduction tree (1 cycle/hop, average half the
+// column height) plus the expected LLC-network hop to reach a non-local
+// bank (3-stage router + link).
+func (c Config) nocOutLatency() float64 {
+	tiles := c.llcTiles()
+	cols := 2 * tiles // core columns on both sides of the LLC row
+	conc := c.Concentration
+	if conc < 1 {
+		conc = 1
+	}
+	rows := int(math.Ceil(float64(c.Cores) / float64(cols*conc)))
+	if rows < 1 {
+		rows = 1
+	}
+	treeHops := (float64(rows) + 1) / 2
+	if conc > 1 {
+		treeHops += 1 // the concentrating mux adds an arbitration stage
+	}
+	if c.ExpressLinks && rows > 4 {
+		// Express channels bypass every other node in tall trees.
+		treeHops = treeHops/2 + 1
+	}
+	// Entering the LLC region costs an arbitration and tile crossing.
+	const llcEntry = 2
+	// Probability the target bank is not the column's own LLC tile.
+	pRemote := float64(tiles-1) / float64(tiles)
+	avgSpan := (float64(tiles) + 1) / 3
+	linkCycles := math.Ceil(avgSpan / 2)
+	return treeHops + llcEntry + pRemote*(3+linkCycles)
+}
+
+// SerializationCycles returns the extra cycles to stream a packet's body
+// through the link after the header: ceil(bytes*8/width) - 1.
+func (c Config) SerializationCycles(bytes int) float64 {
+	w := c.linkBits()
+	flits := int(math.Ceil(float64(bytes*8) / float64(w)))
+	if flits < 1 {
+		flits = 1
+	}
+	return float64(flits - 1)
+}
+
+// AccessLatency is the network contribution to an LLC hit as the thesis
+// counts it: the header latency through the fabric plus the cycles to
+// stream the data reply's body. (The thesis's calibrated interconnect
+// latencies — ideal 4 cycles, crossbar 4-11 cycles, mesh 3 cycles/hop —
+// are the per-access network cost, with request and pipelined reply
+// traversals folded into one term.)
+func (c Config) AccessLatency() float64 {
+	return c.OneWayLatency() + c.SerializationCycles(replyBytes)
+}

@@ -1,0 +1,103 @@
+package noc
+
+import (
+	"math"
+
+	"scaleout/internal/tech"
+)
+
+// PowerBreakdown splits NOC power into link traversal energy (dominant,
+// Section 4.4.4) and router energy (buffers + arbitration + switch).
+type PowerBreakdown struct {
+	LinksW   float64
+	RoutersW float64
+}
+
+// Total returns the summed NOC power in Watts.
+func (p PowerBreakdown) Total() float64 { return p.LinksW + p.RoutersW }
+
+// Per-flit-hop router energies (pJ), calibrated so a 64-core pod under
+// scale-out load lands on the Section 4.4.4 totals: mesh ~1.8W, flattened
+// butterfly ~1.6W, NOC-Out ~1.3W.
+const (
+	meshRouterPJ  = 6.0 // 5-port router: buffer write/read + arbitration + switch at every hop
+	fbflyRouterPJ = 5.0 // 15-port router, larger fabric but only ~2 traversals
+	treeMuxPJ     = 0.5 // two-input mux/demux node
+	xbarPortPJ    = 1.0 // dancehall crossbar, per traversal per 8 ports
+)
+
+// bitsPerAccess is the request header plus the 72-byte data reply.
+const bitsPerAccess = requestBytes*8 + replyBytes*8
+
+// flitsPerAccess returns total flits moved per LLC access at this width.
+func (c Config) flitsPerAccess() float64 {
+	w := float64(c.linkBits())
+	return math.Ceil(requestBytes*8/w) + math.Ceil(replyBytes*8/w)
+}
+
+// avgDistanceMM returns the mean one-way physical core-to-LLC distance.
+func (c Config) avgDistanceMM() float64 {
+	edge := c.tileEdge()
+	switch c.Kind {
+	case Ideal:
+		return 0
+	case Crossbar:
+		return float64(gridSide(c.Cores)) * edge / 2
+	case Mesh, FlattenedButterfly:
+		// Same Manhattan wire distance; the butterfly merely traverses
+		// fewer routers along the way.
+		return meshAvgHops(gridSide(c.Cores)) * edge
+	case NOCOut:
+		tiles := c.llcTiles()
+		cols := 2 * tiles
+		rows := int(math.Ceil(float64(c.Cores) / float64(cols)))
+		if rows < 1 {
+			rows = 1
+		}
+		tree := (float64(rows) + 1) / 2
+		llc := float64(tiles-1) / float64(tiles) * (float64(tiles) + 1) / 3
+		return (tree + llc*0.8) * edge // LLC tiles are narrower than core tiles
+	default:
+		panic("noc: unknown interconnect kind")
+	}
+}
+
+// routerHopEnergyPJ returns the per-access router energy in pJ.
+func (c Config) routerHopEnergyPJ() float64 {
+	flits := c.flitsPerAccess()
+	switch c.Kind {
+	case Ideal:
+		return 0
+	case Crossbar:
+		return flits * xbarPortPJ * float64(c.Cores) / 8
+	case Mesh:
+		hops := 2 * meshAvgHops(gridSide(c.Cores)) // request + reply paths
+		return flits * hops * meshRouterPJ
+	case FlattenedButterfly:
+		return flits * 2 * 2 * fbflyRouterPJ // <=2 hops each direction
+	case NOCOut:
+		tiles := c.llcTiles()
+		cols := 2 * tiles
+		rows := int(math.Ceil(float64(c.Cores) / float64(cols)))
+		if rows < 1 {
+			rows = 1
+		}
+		tree := (float64(rows) + 1) / 2
+		pRemote := float64(tiles-1) / float64(tiles)
+		return flits * (2*tree*treeMuxPJ + 2*pRemote*fbflyRouterPJ)
+	default:
+		panic("noc: unknown interconnect kind")
+	}
+}
+
+// PowerW returns the NOC power at the given LLC access rate (accesses per
+// second across all cores). Both directions of each access are counted.
+func (c Config) PowerW(accessesPerSec float64) PowerBreakdown {
+	mm := c.avgDistanceMM()
+	linkJPerAccess := float64(bitsPerAccess) * mm * tech.LinkEnergyFJPerBitMM * 1e-15
+	routerJPerAccess := c.routerHopEnergyPJ() * 1e-12
+	return PowerBreakdown{
+		LinksW:   accessesPerSec * linkJPerAccess,
+		RoutersW: accessesPerSec * routerJPerAccess,
+	}
+}

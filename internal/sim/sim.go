@@ -1,0 +1,505 @@
+// Package sim is the cycle-driven multicore timing simulator that stands
+// in for the thesis's Flexus/Simics full-system infrastructure (Sections
+// 3.3 and 4.3.4). It models, per cycle: cores (issue-width and base-CPI
+// limited, with front-end stalls on instruction fetches, bounded
+// memory-level parallelism for out-of-order cores, and blocking loads for
+// in-order cores), a banked NUCA/UCA last-level cache with per-bank
+// queueing, a real coherence directory over the shared working set, the
+// interconnect (latency, serialization, per-kind topology), and memory
+// channels with finite bandwidth.
+//
+// The simulator is trace-driven: each committed instruction draws its
+// memory behaviour (instruction fetch misses, data accesses, hit/miss,
+// sharing) from the calibrated workload model using a deterministic
+// per-core RNG, so runs are exactly reproducible. What the simulator adds
+// over the analytic model — and what Figure 3.3's validation measures —
+// is timing fidelity: queueing at banks and channels, MLP saturation,
+// burstiness, and software-scalability derating.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"scaleout/internal/cache"
+	"scaleout/internal/noc"
+	"scaleout/internal/stats"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// Config describes one simulated pod or chip.
+type Config struct {
+	Workload workload.Workload
+	CoreType tech.CoreType
+	Cores    int
+	LLCMB    float64
+	Net      noc.Config
+
+	// MemChannels is the number of memory channels (default: enough for
+	// the configuration per the provisioning rule, minimum 1).
+	MemChannels int
+
+	// WarmupCycles are simulated but not measured (default 20000).
+	// MeasureCycles are measured (default 50000, as in SimFlex runs).
+	WarmupCycles  int
+	MeasureCycles int
+
+	// Seed selects the deterministic random stream (default 1).
+	Seed uint64
+
+	// DisableSWScaling turns off the software-scalability derating, for
+	// direct comparison against the analytic model's hardware potential.
+	DisableSWScaling bool
+}
+
+// Result reports the measured behaviour of one simulation.
+type Result struct {
+	Cycles          int
+	Instructions    uint64  // application instructions committed (all cores)
+	AppIPC          float64 // aggregate application IPC — the thesis metric
+	PerCoreIPC      float64
+	LLCAccesses     uint64
+	LLCMisses       uint64
+	SnoopRatePct    float64 // % of LLC accesses triggering a snoop (Fig 4.3)
+	AvgLLCLatency   float64 // average end-to-end LLC hit latency, cycles
+	OffChipGBs      float64 // average off-chip bandwidth used
+	DirectoryBlocks int     // blocks tracked by the coherence directory
+}
+
+// MissRatio returns LLC misses over accesses.
+func (r Result) MissRatio() float64 {
+	if r.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(r.LLCMisses) / float64(r.LLCAccesses)
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: %d cores", c.Cores)
+	}
+	if c.LLCMB <= 0 {
+		return fmt.Errorf("sim: %vMB LLC", c.LLCMB)
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Net.Kind == 0 && c.Net.Cores == 0 { // zero Config: default crossbar
+		c.Net = noc.New(noc.Crossbar, c.Cores)
+	}
+	if c.MemChannels < 1 {
+		c.MemChannels = 1 + c.Cores/16
+	}
+	if c.WarmupCycles <= 0 {
+		c.WarmupCycles = 20000
+	}
+	if c.MeasureCycles <= 0 {
+		c.MeasureCycles = 50000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// banksFor mirrors the analytic model's banking rule (Table 3.1): UCA
+// designs have one bank per four cores; NUCA fabrics one bank per tile,
+// except NOC-Out, which concentrates two banks in each of its LLC tiles.
+func (c Config) banksFor() int {
+	switch c.Net.Kind {
+	case noc.Crossbar, noc.Ideal:
+		b := (c.Cores + 3) / 4
+		if b < 4 {
+			b = 4 // a shared cache is always built from at least four banks
+		}
+		return b
+	case noc.NOCOut:
+		t := c.Net.LLCTiles
+		if t <= 0 {
+			t = 8
+		}
+		return 2 * t
+	default:
+		return c.Cores
+	}
+}
+
+// sharedPoolBlocks is the size of the read-write shared working set the
+// directory tracks (locks, allocator and session metadata): 512 blocks =
+// 32KB, deliberately small — scale-out requests are independent.
+const sharedPoolBlocks = 512
+
+// Run simulates the configuration and returns measured results.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return Result{}, err
+	}
+	m, err := newMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	m.run(cfg.WarmupCycles)
+	m.resetStats()
+	m.run(cfg.MeasureCycles)
+	return m.result(), nil
+}
+
+// RunSampled runs n independent samples with distinct seeds and returns
+// the per-sample results plus an accumulator over aggregate IPC — the
+// SimFlex-style sampling methodology (Section 3.3) that lets callers
+// check the 95% confidence interval.
+func RunSampled(cfg Config, n int) ([]Result, *stats.Accumulator, error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("sim: %d samples", n)
+	}
+	var acc stats.Accumulator
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*0x9E37
+		r, err := Run(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, r)
+		acc.Add(r.AppIPC)
+	}
+	return out, &acc, nil
+}
+
+// machine is the simulated hardware: cores, LLC banks, directory, and
+// memory channels, advanced in lock-step cycles.
+type machine struct {
+	cfg   cfgDerived
+	cores []coreState
+	banks []int64 // next cycle each LLC bank can accept a request
+	chans []int64 // next cycle each memory channel can start a line
+	dir   *cache.Directory
+	now   int64
+
+	// measured stats
+	instructions  uint64
+	llcAccesses   uint64
+	llcMisses     uint64
+	llcLatencySum uint64
+	offChipLines  uint64
+}
+
+// cfgDerived caches per-run constants derived from the Config.
+type cfgDerived struct {
+	Config
+	pInstr      float64 // P(instruction slot performs an LLC I-fetch)
+	pData       float64 // P(instruction slot performs an LLC data access)
+	pMissInstr  float64 // P(I-fetch misses LLC)
+	pMissData   float64 // P(data access misses LLC)
+	baseIPC     float64
+	width       int
+	overlap     float64
+	slots       int // outstanding off-chip misses an OoO core sustains
+	netLat      int64
+	replyLat    int64
+	bankLat     int64
+	memLat      int64
+	lineCycles  int64 // channel occupancy per line
+	banks       int
+	bankBusy    int64 // cycles a bank is occupied per request
+	swEff       float64
+	writebackPr float64
+}
+
+func derive(cfg Config) cfgDerived {
+	w, t := cfg.Workload, cfg.CoreType
+	acc := w.AccessBreakdown(t, cfg.LLCMB, cfg.Cores)
+	iAPKI := acc.IHitAPKI + acc.IMissMPKI
+	dAPKI := acc.DHitAPKI + acc.DMissMPKI
+
+	d := cfgDerived{Config: cfg}
+	d.pInstr = iAPKI / 1000
+	d.pData = dAPKI / 1000
+	if iAPKI > 0 {
+		d.pMissInstr = acc.IMissMPKI / iAPKI
+	}
+	if dAPKI > 0 {
+		d.pMissData = acc.DMissMPKI / dAPKI
+	}
+	d.baseIPC = w.BaseIPC[t]
+	d.width = tech.Cores(t).Width
+	d.overlap = w.LLCOverlap[t]
+	d.slots = int(math.Round(w.MLP[t]))
+	if d.slots < 1 {
+		d.slots = 1
+	}
+	if t == tech.InOrder {
+		d.slots = 1
+	}
+	d.netLat = int64(math.Round(cfg.Net.OneWayLatency()))
+	d.replyLat = d.netLat + int64(cfg.Net.SerializationCycles(tech.CacheLineBytes+8))
+	d.banks = cfg.banksFor()
+	d.bankLat = int64(tech.LLCBankLatency(cfg.LLCMB / float64(d.banks)))
+	d.bankBusy = 1
+	if cfg.Net.Kind == noc.NOCOut {
+		// NOC-Out concentrates two banks behind each LLC-tile router;
+		// the shared port halves the accept rate (Section 4.4.1 notes
+		// the resulting bank contention on Data Serving).
+		d.bankBusy = 2
+	}
+	d.memLat = int64(tech.MemoryLatencyCycles)
+	gbs := tech.DDR3UsableGBs
+	d.lineCycles = int64(math.Ceil(float64(tech.CacheLineBytes) * tech.ClockGHz / gbs))
+	d.swEff = 1
+	if !cfg.DisableSWScaling {
+		d.swEff = w.SWEfficiency(cfg.Cores)
+	}
+	d.writebackPr = w.WritebackFrac
+	return d
+}
+
+// coreState is one core's execution state.
+type coreState struct {
+	rng          *stats.Rng
+	credit       float64 // fractional issue budget from the base IPC
+	stallDebt    float64 // exposed LLC-hit latency still to drain
+	blockedUntil int64   // front-end or blocking-load stall
+	slotDone     []int64 // completion cycles of outstanding off-chip loads
+	privateSeq   uint64  // streaming pointer into the core's private data
+}
+
+func newMachine(cfg Config) (*machine, error) {
+	d := derive(cfg)
+	dir, err := cache.NewDirectory(min(cfg.Cores, 64))
+	if err != nil {
+		return nil, err
+	}
+	m := &machine{
+		cfg:   d,
+		cores: make([]coreState, cfg.Cores),
+		banks: make([]int64, d.banks),
+		chans: make([]int64, cfg.MemChannels),
+		dir:   dir,
+	}
+	for i := range m.cores {
+		m.cores[i] = coreState{
+			rng:      stats.NewRng(cfg.Seed + uint64(i)*0x9E3779B97F4A7C15),
+			slotDone: make([]int64, 0, d.slots),
+		}
+	}
+	return m, nil
+}
+
+func (m *machine) resetStats() {
+	m.instructions = 0
+	m.llcAccesses = 0
+	m.llcMisses = 0
+	m.llcLatencySum = 0
+	m.offChipLines = 0
+	m.dir.Lookups = 0
+	m.dir.SnoopsSent = 0
+	m.dir.SnoopAccesses = 0
+	m.dir.Invalidation = 0
+	m.dir.Forwards = 0
+}
+
+func (m *machine) run(cycles int) {
+	end := m.now + int64(cycles)
+	for ; m.now < end; m.now++ {
+		for i := range m.cores {
+			m.stepCore(i)
+		}
+	}
+}
+
+// stepCore advances core i by one cycle.
+func (m *machine) stepCore(i int) {
+	c := &m.cores[i]
+	if c.stallDebt >= 1 {
+		c.stallDebt--
+		return
+	}
+	if m.now < c.blockedUntil {
+		return
+	}
+	// Retire completed off-chip loads to free MLP slots.
+	live := c.slotDone[:0]
+	for _, done := range c.slotDone {
+		if done > m.now {
+			live = append(live, done)
+		}
+	}
+	c.slotDone = live
+
+	c.credit += m.cfg.baseIPC
+	for n := 0; c.credit >= 1 && n < m.cfg.width; n++ {
+		c.credit--
+		m.instructions++
+		u := c.rng.Float64()
+		switch {
+		case u < m.cfg.pInstr:
+			// Instruction fetch from the LLC: the front end stalls for
+			// the full access latency.
+			done := m.access(i, c, true, false)
+			c.blockedUntil = done
+			return
+		case u < m.cfg.pInstr+m.cfg.pData:
+			isWrite := false
+			shared := c.rng.Float64() < m.cfg.Workload.SharedFrac
+			if shared {
+				isWrite = c.rng.Float64() < m.cfg.Workload.SharedWriteFrac
+			}
+			done := m.dataAccess(i, c, shared, isWrite)
+			if m.cfg.CoreType == tech.InOrder {
+				c.blockedUntil = done
+				return
+			}
+			lat := done - m.now
+			if m.isMissLatency(lat) {
+				// Off-chip load: occupy an MLP slot; block when the
+				// window is exhausted.
+				if len(c.slotDone) >= m.cfg.slots {
+					c.blockedUntil = minInt64(c.slotDone)
+					return
+				}
+				c.slotDone = append(c.slotDone, done)
+			} else {
+				// LLC hit: the out-of-order window hides part of the
+				// latency; the exposed fraction accrues as stall debt.
+				c.stallDebt += m.cfg.overlap * float64(lat)
+			}
+		}
+	}
+}
+
+// isMissLatency distinguishes off-chip completions from LLC hits by
+// magnitude (misses always include the DRAM latency).
+func (m *machine) isMissLatency(lat int64) bool {
+	return lat >= m.cfg.memLat
+}
+
+// dataAccess performs a data access, consulting the directory for shared
+// blocks. It returns the completion cycle.
+func (m *machine) dataAccess(i int, c *coreState, shared, isWrite bool) int64 {
+	if !shared {
+		c.privateSeq++
+		return m.access(i, c, false, false)
+	}
+	block := uint64(c.rng.Intn(sharedPoolBlocks))
+	var res cache.AccessResult
+	dirCore := i % m.dir.Cores()
+	if isWrite {
+		res = m.dir.Write(dirCore, block)
+	} else {
+		res = m.dir.Read(dirCore, block)
+	}
+	done := m.accessShared(i, c, res.ForwardedFromL1)
+	if res.Snoops > 0 && !res.ForwardedFromL1 {
+		// Invalidations complete in the background; only a fraction of
+		// their latency is on the critical path (write acknowledgment).
+		done += m.cfg.netLat
+	}
+	return done
+}
+
+// access performs a plain LLC access (instruction fetch or private data).
+func (m *machine) access(i int, c *coreState, isInstr, _ bool) int64 {
+	pMiss := m.cfg.pMissData
+	if isInstr {
+		pMiss = m.cfg.pMissInstr
+	}
+	miss := c.rng.Float64() < pMiss
+	return m.timeAccess(c, miss, false)
+}
+
+// accessShared performs the LLC-side timing of a shared-block access.
+// Shared metadata is hot and hits on chip; a forward adds an L1-to-L1
+// round trip through the LLC fabric.
+func (m *machine) accessShared(i int, c *coreState, forwarded bool) int64 {
+	return m.timeAccess(c, false, forwarded)
+}
+
+// timeAccess models the request path: network to a bank, bank queueing
+// and access, then either the reply or the memory-channel round trip.
+func (m *machine) timeAccess(c *coreState, miss, forwarded bool) int64 {
+	m.llcAccesses++
+	bank := c.rng.Intn(m.cfg.banks)
+	arrive := m.now + m.cfg.netLat
+	start := arrive
+	if m.banks[bank] > start {
+		start = m.banks[bank]
+	}
+	m.banks[bank] = start + m.cfg.bankBusy // pipelined bank accept rate
+	ready := start + m.cfg.bankLat
+
+	var done int64
+	switch {
+	case miss:
+		m.llcMisses++
+		m.offChipLines++
+		occupancy := m.cfg.lineCycles
+		if c.rng.Float64() < m.cfg.writebackPr {
+			// A dirty eviction accompanies the fill and occupies the
+			// channel for another line, off the critical path.
+			m.offChipLines++
+			occupancy += m.cfg.lineCycles
+		}
+		ch := c.rng.Intn(len(m.chans))
+		chStart := ready
+		if m.chans[ch] > chStart {
+			chStart = m.chans[ch]
+		}
+		m.chans[ch] = chStart + occupancy
+		done = chStart + m.cfg.memLat + m.cfg.replyLat
+	case forwarded:
+		// LLC directory forwards to the owning L1 and back.
+		done = ready + 2*m.cfg.netLat + m.cfg.replyLat
+	default:
+		done = ready + m.cfg.replyLat
+	}
+	m.llcLatencySum += uint64(done - m.now)
+	return done
+}
+
+func (m *machine) result() Result {
+	cycles := m.cfg.MeasureCycles
+	appInstr := float64(m.instructions) * m.cfg.swEff
+	r := Result{
+		Cycles:          cycles,
+		Instructions:    uint64(appInstr),
+		AppIPC:          appInstr / float64(cycles),
+		LLCAccesses:     m.llcAccesses,
+		LLCMisses:       m.llcMisses,
+		SnoopRatePct:    m.dirSnoopPct(),
+		OffChipGBs:      float64(m.offChipLines) * tech.CacheLineBytes * tech.ClockGHz / float64(cycles),
+		DirectoryBlocks: m.dir.TrackedBlocks(),
+	}
+	r.PerCoreIPC = r.AppIPC / float64(len(m.cores))
+	if m.llcAccesses > 0 {
+		r.AvgLLCLatency = float64(m.llcLatencySum) / float64(m.llcAccesses)
+	}
+	return r
+}
+
+// dirSnoopPct scales the directory's snoop rate (over tracked shared
+// accesses) to the full LLC access stream, as Figure 4.3 plots it.
+func (m *machine) dirSnoopPct() float64 {
+	if m.llcAccesses == 0 {
+		return 0
+	}
+	return 100 * float64(m.dir.SnoopAccesses) / float64(m.llcAccesses)
+}
+
+func minInt64(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"fmt"
+
+	"scaleout/internal/cache"
+	"scaleout/internal/noc"
+	"scaleout/internal/tech"
+	"scaleout/internal/trace"
+	"scaleout/internal/workload"
+)
+
+// StructuralConfig describes a run of the structural simulator: instead
+// of drawing cache behaviour from the calibrated workload curves, each
+// core replays a synthetic reference stream (internal/trace) against
+// real set-associative L1 arrays with MSHRs, and the LLC is a real
+// banked tag array. Miss rates therefore *emerge* from the stream — an
+// independent cross-check of the statistical calibration, and the mode
+// to use for microarchitectural what-ifs (associativity, MSHR counts,
+// bank counts) that the statistical model cannot see.
+type StructuralConfig struct {
+	Workload workload.Workload
+	CoreType tech.CoreType
+	Cores    int
+	LLCMB    float64
+	Net      noc.Config
+
+	MemChannels   int
+	WarmupCycles  int // default 150000 (the LLC must fill)
+	MeasureCycles int
+	Seed          uint64
+
+	L1MSHRs int // default 32 (Table 2.2)
+}
+
+// StructuralResult extends the timing results with the emergent cache
+// behaviour of the structural run.
+type StructuralResult struct {
+	Result
+	L1IMPKI      float64 // emergent L1-I misses per kilo-instruction
+	L1DMPKI      float64 // emergent L1-D misses per kilo-instruction
+	LLCMissPct   float64 // emergent LLC miss ratio (%)
+	MSHRStallPct float64 // % of cycles lost to full MSHRs
+}
+
+func (c *StructuralConfig) applyDefaults() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: %d cores", c.Cores)
+	}
+	if c.LLCMB <= 0 {
+		return fmt.Errorf("sim: %vMB LLC", c.LLCMB)
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Net.Kind == 0 && c.Net.Cores == 0 {
+		c.Net = noc.New(noc.Crossbar, c.Cores)
+	}
+	if c.MemChannels < 1 {
+		c.MemChannels = 1 + c.Cores/16
+	}
+	if c.WarmupCycles <= 0 {
+		c.WarmupCycles = 60000
+	}
+	if c.MeasureCycles <= 0 {
+		c.MeasureCycles = 50000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.L1MSHRs <= 0 {
+		c.L1MSHRs = 32
+	}
+	return nil
+}
+
+// structCore is the per-core structural state.
+type structCore struct {
+	coreState
+	gen  *trace.Generator
+	l1i  *cache.SetAssoc
+	l1d  *cache.SetAssoc
+	mshr *cache.MSHR
+	// outstanding MSHR entries: block -> completion cycle.
+	pending map[uint64]int64
+
+	instrs     uint64
+	l1iMisses  uint64
+	l1dMisses  uint64
+	mshrStalls uint64
+}
+
+// structMachine composes the statistical machine's timing spine (banks,
+// channels, directory) with real cache structures.
+type structMachine struct {
+	machine
+	scfg    StructuralConfig
+	cores   []structCore
+	llc     []*cache.SetAssoc // one array per bank
+	victims []*cache.Victim   // 16-entry victim cache per bank (Table 2.2)
+}
+
+// RunStructural simulates the configuration in structural mode.
+func RunStructural(cfg StructuralConfig) (StructuralResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return StructuralResult{}, err
+	}
+	m, err := newStructMachine(cfg)
+	if err != nil {
+		return StructuralResult{}, err
+	}
+	m.runStructural(cfg.WarmupCycles)
+	m.resetStructStats()
+	m.runStructural(cfg.MeasureCycles)
+	return m.structResult(), nil
+}
+
+func newStructMachine(cfg StructuralConfig) (*structMachine, error) {
+	// Reuse the statistical machine for banks/channels/directory sizing.
+	base := Config{
+		Workload: cfg.Workload, CoreType: cfg.CoreType, Cores: cfg.Cores,
+		LLCMB: cfg.LLCMB, Net: cfg.Net, MemChannels: cfg.MemChannels,
+		WarmupCycles: cfg.WarmupCycles, MeasureCycles: cfg.MeasureCycles,
+		Seed: cfg.Seed,
+	}
+	inner, err := newMachine(base)
+	if err != nil {
+		return nil, err
+	}
+	spec := tech.Cores(cfg.CoreType)
+	m := &structMachine{machine: *inner, scfg: cfg}
+	banks := m.cfg.banks
+	bankBytes := int(cfg.LLCMB * 1024 * 1024 / float64(banks))
+	m.llc = make([]*cache.SetAssoc, banks)
+	m.victims = make([]*cache.Victim, banks)
+	for i := range m.llc {
+		arr, err := cache.NewSetAssoc(bankBytes, tech.LLCWays)
+		if err != nil {
+			return nil, fmt.Errorf("sim: LLC bank: %w", err)
+		}
+		m.llc[i] = arr
+		vc, err := cache.NewVictim(16)
+		if err != nil {
+			return nil, err
+		}
+		m.victims[i] = vc
+	}
+	m.cores = make([]structCore, cfg.Cores)
+	for i := range m.cores {
+		gen, err := trace.NewFromWorkload(cfg.Workload, cfg.CoreType, i, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		l1i, err := cache.NewSetAssoc(spec.L1IKB*1024, spec.L1Ways)
+		if err != nil {
+			return nil, err
+		}
+		l1d, err := cache.NewSetAssoc(spec.L1DKB*1024, spec.L1Ways)
+		if err != nil {
+			return nil, err
+		}
+		mshr, err := cache.NewMSHR(cfg.L1MSHRs)
+		if err != nil {
+			return nil, err
+		}
+		m.cores[i] = structCore{
+			coreState: m.machine.cores[i],
+			gen:       gen, l1i: l1i, l1d: l1d, mshr: mshr,
+			pending: make(map[uint64]int64),
+		}
+	}
+	// Checkpoint-style warm start (Section 3.3: simulations launch from
+	// checkpoints with warmed caches): pre-fill the LLC with the blocks
+	// a steady-state system would hold. The remaining warmup cycles
+	// settle the L1s, queues, and directory.
+	for _, block := range m.cores[0].gen.ResidentBlocks() {
+		m.llcInsert(block, false)
+	}
+	return m, nil
+}
+
+func (m *structMachine) resetStructStats() {
+	m.resetStats()
+	for i := range m.cores {
+		c := &m.cores[i]
+		c.instrs, c.l1iMisses, c.l1dMisses, c.mshrStalls = 0, 0, 0, 0
+	}
+}
+
+func (m *structMachine) runStructural(cycles int) {
+	end := m.now + int64(cycles)
+	for ; m.now < end; m.now++ {
+		for i := range m.cores {
+			m.stepStructCore(i)
+		}
+	}
+}
+
+// stepStructCore advances one core a cycle through the structural path.
+func (m *structMachine) stepStructCore(i int) {
+	c := &m.cores[i]
+	if c.stallDebt >= 1 {
+		c.stallDebt--
+		return
+	}
+	if m.now < c.blockedUntil {
+		return
+	}
+	// Retire completed misses: free MSHR entries and MLP slots.
+	for block, done := range c.pending {
+		if done <= m.now {
+			c.mshr.Complete(block)
+			delete(c.pending, block)
+		}
+	}
+	live := c.slotDone[:0]
+	for _, done := range c.slotDone {
+		if done > m.now {
+			live = append(live, done)
+		}
+	}
+	c.slotDone = live
+
+	c.credit += m.cfg.baseIPC
+	for n := 0; c.credit >= 1 && n < m.cfg.width; n++ {
+		c.credit--
+		m.instructions++
+		c.instrs++
+
+		// Instruction fetch through the real L1-I.
+		if acc, ok := c.gen.NextInstr(); ok {
+			if !c.l1i.Lookup(acc.Block) {
+				c.l1iMisses++
+				done, stalled := m.structMiss(i, c, acc)
+				if stalled {
+					return
+				}
+				c.l1i.Insert(acc.Block, false)
+				c.blockedUntil = done // front end stalls on I-misses
+				return
+			}
+		}
+
+		// Data access through the real L1-D.
+		acc, ok := c.gen.NextData()
+		if !ok {
+			continue
+		}
+		if c.l1d.Lookup(acc.Block) {
+			if acc.IsWrite {
+				c.l1d.MarkDirty(acc.Block)
+			}
+			continue // L1 hit: no LLC traffic
+		}
+		c.l1dMisses++
+		done, stalled := m.structMiss(i, c, acc)
+		if stalled {
+			return
+		}
+		if ev, evicted := c.l1d.Insert(acc.Block, acc.IsWrite); evicted && ev.Dirty {
+			// Dirty L1 writeback lands in the LLC.
+			m.llcInsert(ev.Block, true)
+		}
+		lat := done - m.now
+		if m.cfg.CoreType == tech.InOrder {
+			c.blockedUntil = done
+			return
+		}
+		if m.isMissLatency(lat) {
+			if len(c.slotDone) >= m.cfg.slots {
+				c.blockedUntil = minInt64(c.slotDone)
+				return
+			}
+			c.slotDone = append(c.slotDone, done)
+		} else {
+			c.stallDebt += m.cfg.overlap * float64(lat)
+		}
+	}
+}
+
+// structMiss services an L1 miss through the MSHR, the LLC tag arrays,
+// the directory (for shared blocks), and memory. It returns the
+// completion cycle, or stalled=true when the MSHR file is full.
+func (m *structMachine) structMiss(i int, c *structCore, acc trace.Access) (int64, bool) {
+	primary, ok := c.mshr.Allocate(acc.Block)
+	if !ok {
+		// MSHR full: stall until the earliest outstanding miss returns.
+		c.mshrStalls++
+		earliest := int64(1<<62 - 1)
+		for _, done := range c.pending {
+			if done < earliest {
+				earliest = done
+			}
+		}
+		c.blockedUntil = earliest
+		return earliest, true
+	}
+	if !primary {
+		// Secondary miss: completes with the primary.
+		return c.pending[acc.Block], false
+	}
+
+	// Directory for coherence-visible shared blocks.
+	var forwarded bool
+	if acc.Shared {
+		dirCore := i % m.dir.Cores()
+		var res cache.AccessResult
+		if acc.IsWrite {
+			res = m.dir.Write(dirCore, acc.Block)
+		} else {
+			res = m.dir.Read(dirCore, acc.Block)
+		}
+		forwarded = res.ForwardedFromL1
+	}
+
+	// Real LLC lookup in the block's bank. The bank-selection bits are
+	// stripped before indexing so every set of the bank array is usable.
+	// Misses get a second chance in the bank's 16-entry victim cache.
+	banks := uint64(len(m.llc))
+	bank := int(acc.Block % banks)
+	hit := m.llc[bank].Lookup(acc.Block/banks) || forwarded
+	if !hit {
+		if vHit, vDirty := m.victims[bank].Probe(acc.Block / banks); vHit {
+			hit = true
+			m.llcInsert(acc.Block, vDirty) // promote back into the array
+		}
+	}
+	done := m.timeStructAccess(bank, !hit, forwarded)
+	if !hit {
+		m.llcInsert(acc.Block, false)
+	}
+	c.pending[acc.Block] = done
+	return done, false
+}
+
+// llcInsert fills a block into its LLC bank, spilling dirty victims to
+// the memory channels' traffic accounting. Bank-selection bits are
+// stripped before indexing the bank array.
+func (m *structMachine) llcInsert(block uint64, dirty bool) {
+	banks := uint64(len(m.llc))
+	bank := int(block % banks)
+	if ev, evicted := m.llc[bank].Insert(block/banks, dirty); evicted {
+		// Evicted blocks get a second chance in the victim cache; only
+		// dirty spills from the victim cache go off-chip.
+		if spill, spilled := m.victims[bank].Insert(ev.Block, ev.Dirty); spilled && spill.Dirty {
+			m.offChipLines++
+		}
+	}
+}
+
+// timeStructAccess mirrors machine.timeAccess but takes the hit/miss
+// decision from the real tag arrays rather than a draw.
+func (m *structMachine) timeStructAccess(bank int, miss, forwarded bool) int64 {
+	m.llcAccesses++
+	arrive := m.now + m.cfg.netLat
+	start := arrive
+	if m.banks[bank] > start {
+		start = m.banks[bank]
+	}
+	m.banks[bank] = start + m.cfg.bankBusy
+	ready := start + m.cfg.bankLat
+
+	var done int64
+	switch {
+	case miss:
+		m.llcMisses++
+		m.offChipLines++
+		ch := int(uint64(bank) % uint64(len(m.chans)))
+		chStart := ready
+		if m.chans[ch] > chStart {
+			chStart = m.chans[ch]
+		}
+		m.chans[ch] = chStart + m.cfg.lineCycles
+		done = chStart + m.cfg.memLat + m.cfg.replyLat
+	case forwarded:
+		done = ready + 2*m.cfg.netLat + m.cfg.replyLat
+	default:
+		done = ready + m.cfg.replyLat
+	}
+	m.llcLatencySum += uint64(done - m.now)
+	return done
+}
+
+func (m *structMachine) structResult() StructuralResult {
+	r := StructuralResult{Result: m.result()}
+	var instrs, l1i, l1d, stalls uint64
+	for i := range m.cores {
+		c := &m.cores[i]
+		instrs += c.instrs
+		l1i += c.l1iMisses
+		l1d += c.l1dMisses
+		stalls += c.mshrStalls
+	}
+	if instrs > 0 {
+		r.L1IMPKI = float64(l1i) / float64(instrs) * 1000
+		r.L1DMPKI = float64(l1d) / float64(instrs) * 1000
+	}
+	if m.llcAccesses > 0 {
+		r.LLCMissPct = 100 * float64(m.llcMisses) / float64(m.llcAccesses)
+	}
+	totalCycles := uint64(m.cfg.MeasureCycles) * uint64(len(m.cores))
+	if totalCycles > 0 {
+		r.MSHRStallPct = 100 * float64(stalls) / float64(totalCycles)
+	}
+	return r
+}

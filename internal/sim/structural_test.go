@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+func structCfg(t *testing.T) StructuralConfig {
+	return StructuralConfig{
+		Workload: wl(t, workload.WebSearch),
+		CoreType: tech.OoO,
+		Cores:    16,
+		LLCMB:    4,
+	}
+}
+
+func runStruct(t *testing.T, cfg StructuralConfig) StructuralResult {
+	t.Helper()
+	r, err := RunStructural(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestStructuralValidation(t *testing.T) {
+	bad := structCfg(t)
+	bad.Cores = 0
+	if _, err := RunStructural(bad); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+	bad = structCfg(t)
+	bad.LLCMB = 0
+	if _, err := RunStructural(bad); err == nil {
+		t.Fatal("0MB LLC accepted")
+	}
+}
+
+func TestStructuralDeterminism(t *testing.T) {
+	a := runStruct(t, structCfg(t))
+	b := runStruct(t, structCfg(t))
+	if a != b {
+		t.Fatalf("structural runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// The emergent L1 miss rates from the real tag arrays land near the
+// calibrated per-workload APKI targets — the cross-check the structural
+// mode exists for.
+func TestEmergentL1MissRates(t *testing.T) {
+	for _, w := range workload.Suite() {
+		cfg := structCfg(t)
+		cfg.Workload = w
+		r := runStruct(t, cfg)
+		apki := w.EffectiveAPKI(tech.OoO)
+		iT := apki * w.IFetchFrac
+		dT := apki - iT
+		if r.L1IMPKI < iT*0.7 || r.L1IMPKI > iT*1.5 {
+			t.Errorf("%s: emergent L1-I MPKI %v vs calibrated %v", w.Name, r.L1IMPKI, iT)
+		}
+		if r.L1DMPKI < dT*0.7 || r.L1DMPKI > dT*1.5 {
+			t.Errorf("%s: emergent L1-D MPKI %v vs calibrated %v", w.Name, r.L1DMPKI, dT)
+		}
+	}
+}
+
+// With a warmed LLC, the instruction footprint and secondary working set
+// are resident: the emergent LLC miss ratio is dominated by the
+// streaming dataset and stays modest.
+func TestEmergentLLCMissRatio(t *testing.T) {
+	for _, w := range workload.Suite() {
+		cfg := structCfg(t)
+		cfg.Workload = w
+		r := runStruct(t, cfg)
+		if r.LLCMissPct < 2 || r.LLCMissPct > 35 {
+			t.Errorf("%s: LLC miss ratio %v%% implausible", w.Name, r.LLCMissPct)
+		}
+	}
+}
+
+// Shrinking the LLC must raise the emergent miss ratio (capacity is a
+// real tag array here, not a curve).
+func TestStructuralCapacitySensitivity(t *testing.T) {
+	big := structCfg(t)
+	big.LLCMB = 8
+	small := structCfg(t)
+	small.LLCMB = 1
+	rb, rs := runStruct(t, big), runStruct(t, small)
+	if rs.LLCMissPct <= rb.LLCMissPct {
+		t.Fatalf("1MB miss ratio %v not above 8MB's %v", rs.LLCMissPct, rb.LLCMissPct)
+	}
+	if rs.AppIPC >= rb.AppIPC {
+		t.Fatalf("1MB IPC %v not below 8MB's %v", rs.AppIPC, rb.AppIPC)
+	}
+}
+
+// Starving the MSHR file must surface as stalls and cost performance —
+// a microarchitectural effect only the structural mode can see.
+func TestMSHRPressure(t *testing.T) {
+	ample := structCfg(t)
+	ample.L1MSHRs = 32
+	starved := structCfg(t)
+	starved.L1MSHRs = 1
+	ra, rs := runStruct(t, ample), runStruct(t, starved)
+	if rs.MSHRStallPct <= ra.MSHRStallPct {
+		t.Fatalf("1-entry MSHR stall %v%% not above 32-entry %v%%", rs.MSHRStallPct, ra.MSHRStallPct)
+	}
+	if rs.AppIPC >= ra.AppIPC {
+		t.Fatalf("starved MSHR IPC %v not below ample %v", rs.AppIPC, ra.AppIPC)
+	}
+}
+
+// Structural and statistical modes must agree on the big picture: same
+// configuration, same order of magnitude, same direction under a slower
+// interconnect.
+func TestStructuralVsStatistical(t *testing.T) {
+	cfg := structCfg(t)
+	structIPC := runStruct(t, cfg).AppIPC
+	statIPC := run(t, Config{
+		Workload: cfg.Workload, CoreType: cfg.CoreType, Cores: cfg.Cores,
+		LLCMB: cfg.LLCMB, DisableSWScaling: true,
+	}).AppIPC
+	if ratio := structIPC / statIPC; ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("structural %v vs statistical %v (ratio %v)", structIPC, statIPC, ratio)
+	}
+}
+
+func TestStructuralSnoopsPresent(t *testing.T) {
+	cfg := structCfg(t)
+	cfg.Workload = wl(t, workload.WebFrontend) // heaviest sharing
+	r := runStruct(t, cfg)
+	if r.SnoopRatePct <= 0 {
+		t.Fatal("no snoops despite a coherence-visible shared pool")
+	}
+	if r.DirectoryBlocks == 0 {
+		t.Fatal("directory tracked nothing")
+	}
+}
+
+func TestStructuralWritebacksCounted(t *testing.T) {
+	r := runStruct(t, structCfg(t))
+	if r.OffChipGBs <= 0 {
+		t.Fatal("no off-chip traffic measured")
+	}
+	if math.IsNaN(r.AvgLLCLatency) || r.AvgLLCLatency <= 0 {
+		t.Fatalf("LLC latency %v", r.AvgLLCLatency)
+	}
+}

@@ -1,0 +1,209 @@
+// Package stats provides the small statistical toolkit used across the
+// scale-out processor models: a deterministic xorshift RNG (so every
+// simulation run is exactly reproducible), running mean/variance
+// accumulators with confidence intervals (the SimFlex-style sampling
+// methodology reports 95% confidence with <4% error), and the geometric
+// mean used for cross-workload summaries.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Rng is a deterministic xorshift64* pseudo-random number generator.
+// Each simulated component owns its own Rng so component insertion order
+// never perturbs another component's stream.
+type Rng struct {
+	state uint64
+}
+
+// NewRng returns a generator seeded with seed. A zero seed is remapped to
+// a fixed non-zero constant because xorshift has an all-zero fixed point.
+func NewRng(seed uint64) *Rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rng{state: seed}
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (r *Rng) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *Rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value uniformly distributed in [0, n). It panics if n <= 0.
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *Rng) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}
+
+// Geometric returns a geometrically distributed trial count (>= 1) with
+// success probability p. It is used for run lengths such as basic-block
+// sizes. p is clamped into (0, 1].
+func (r *Rng) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		p = 1e-9
+	}
+	u := r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	n := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Zipf draws from a Zipf-like distribution over ranks [0, n) with skew s,
+// using inverse-CDF on the truncated harmonic series approximation. It is
+// adequate for workload reuse-rank draws where exactness is not required.
+func (r *Rng) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse CDF of p(x) ~ x^-s via the integral approximation.
+	u := r.Float64()
+	if s == 1 {
+		x := math.Pow(float64(n), u)
+		k := int(x) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		return k
+	}
+	oneMinus := 1 - s
+	hn := (math.Pow(float64(n), oneMinus) - 1) / oneMinus
+	x := math.Pow(u*hn*oneMinus+1, 1/oneMinus)
+	k := int(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// Accumulator maintains a running mean and variance using Welford's
+// algorithm, and can report a normal-approximation confidence interval.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (zero if empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (zero if n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence
+// interval around the mean under the normal approximation.
+func (a *Accumulator) ConfidenceInterval95() float64 {
+	if a.n < 2 {
+		return math.Inf(1)
+	}
+	return z95 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// RelativeError95 returns the CI half-width as a fraction of the mean, the
+// quantity the SimFlex methodology bounds at 4%. It returns +Inf when the
+// mean is zero or fewer than two samples exist.
+func (a *Accumulator) RelativeError95() float64 {
+	if a.mean == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(a.ConfidenceInterval95() / a.mean)
+}
+
+// ErrEmpty is returned by reductions over empty slices.
+var ErrEmpty = errors.New("stats: empty input")
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Normalize divides every element of xs by base, returning a new slice.
+// It is the "normalized to X" operation used by most thesis figures.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}

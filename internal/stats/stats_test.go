@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := NewRng(42), NewRng(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRngZeroSeedRemapped(t *testing.T) {
+	r := NewRng(0)
+	if r.Uint64() == 0 {
+		t.Fatal("zero seed produced zero output (xorshift fixed point)")
+	}
+}
+
+func TestRngSeedsIndependent(t *testing.T) {
+	a, b := NewRng(1), NewRng(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between differently seeded streams", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRng(7)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", x)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRng(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRng(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRng(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRng(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.0)
+	}
+	if mean := sum / n; math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("exponential mean %v, want ~3", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRng(9)
+	sum := 0.0
+	const n, p = 100000, 0.25
+	for i := 0; i < n; i++ {
+		v := r.Geometric(p)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += float64(v)
+	}
+	if mean := sum / n; math.Abs(mean-1/p) > 0.15 {
+		t.Fatalf("geometric mean %v, want ~%v", mean, 1/p)
+	}
+}
+
+func TestGeometricEdge(t *testing.T) {
+	r := NewRng(1)
+	if v := r.Geometric(1); v != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", v)
+	}
+	if v := r.Geometric(0); v < 1 {
+		t.Fatalf("Geometric(0) = %d", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRng(13)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[r.Zipf(100, 1.2)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := NewRng(17)
+	for _, s := range []float64{0.5, 1.0, 1.5} {
+		for i := 0; i < 10000; i++ {
+			v := r.Zipf(64, s)
+			if v < 0 || v >= 64 {
+				t.Fatalf("Zipf(64, %v) = %d", s, v)
+			}
+		}
+	}
+	if v := NewRng(1).Zipf(1, 1); v != 0 {
+		t.Fatalf("Zipf(1) = %d, want 0", v)
+	}
+}
+
+func TestAccumulatorMeanVariance(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v, want 5", a.Mean())
+	}
+	// Unbiased sample variance of this classic set is 32/7.
+	if math.Abs(a.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance %v, want %v", a.Variance(), 32.0/7)
+	}
+}
+
+func TestAccumulatorCI(t *testing.T) {
+	var a Accumulator
+	r := NewRng(21)
+	for i := 0; i < 10000; i++ {
+		a.Add(r.Float64())
+	}
+	ci := a.ConfidenceInterval95()
+	if ci <= 0 || ci > 0.01 {
+		t.Fatalf("CI %v outside plausible range for 10k uniform samples", ci)
+	}
+	if rel := a.RelativeError95(); rel > 0.04 {
+		t.Fatalf("relative error %v exceeds the 4%% SimFlex bound", rel)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if !math.IsInf(a.ConfidenceInterval95(), 1) {
+		t.Fatal("CI of empty accumulator should be +Inf")
+	}
+	if a.Variance() != 0 {
+		t.Fatal("variance of empty accumulator should be 0")
+	}
+}
+
+// Property: Welford's mean matches the naive mean for any input.
+func TestAccumulatorMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var a Accumulator
+		sum := 0.0
+		for _, x := range clean {
+			a.Add(x)
+			sum += x
+		}
+		naive := sum / float64(len(clean))
+		return math.Abs(a.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean %v, want 4", g)
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("empty geomean should error")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("negative geomean should error")
+	}
+}
+
+// Property: geometric mean is bounded by min and max of the inputs.
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if x > 1e-6 && x < 1e6 && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g, err := GeoMean(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndNormalize(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3})
+	if err != nil || m != 2 {
+		t.Fatalf("mean = %v, err = %v", m, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("empty mean should error")
+	}
+	n := Normalize([]float64{2, 4, 6}, 2)
+	if n[0] != 1 || n[1] != 2 || n[2] != 3 {
+		t.Fatalf("normalize = %v", n)
+	}
+}

@@ -1,0 +1,249 @@
+// Package trace generates deterministic synthetic memory-reference
+// streams with the locality structure of scale-out workloads (Section
+// 2.1): an instruction stream that loops over a hot code region and
+// periodically jumps across a multi-megabyte footprint, and a data
+// stream split between an L1-resident primary working set, an
+// LLC-resident secondary working set, and a vast streaming dataset with
+// no reuse.
+//
+// The simulator's structural mode replays these streams against real
+// set-associative L1 arrays (internal/cache), so L1 miss rates *emerge*
+// from the stream instead of being drawn from the calibrated workload
+// curves — an independent cross-check of the calibration.
+package trace
+
+import (
+	"fmt"
+
+	"scaleout/internal/cache"
+	"scaleout/internal/stats"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// Address-space layout (block numbers). Each region is given a disjoint
+// range so streams never alias across regions or cores.
+const (
+	instrBase     = 0x1000_0000
+	privateBase   = 0x2000_0000
+	sharedBase    = 0x3000_0000
+	secondaryBase = 0x3800_0000 // read-mostly shared secondary working set
+	streamBase    = 0x4000_0000
+	coreStride    = 0x0100_0000 // per-core offset within private regions
+)
+
+// Access is one memory reference of the synthetic stream.
+type Access struct {
+	Block   uint64 // cache-block number
+	IsInstr bool
+	IsWrite bool
+	Shared  bool // targets the read-write shared pool (coherence-visible)
+}
+
+// Generator produces the reference stream of one core.
+type Generator struct {
+	rng *stats.Rng
+
+	// Instruction stream state.
+	instrBlocks  int     // footprint in blocks
+	hotBlocks    int     // hot loop region (L1-I resident)
+	pc           uint64  // current hot-region block
+	run          int     // blocks left in the current sequential run
+	pFar         float64 // probability a new run starts outside the hot region
+	blocksPerRef float64 // I-block advance probability per instruction
+
+	// Data stream state.
+	loadStoreFrac float64 // data references per instruction
+	writeFrac     float64 // stores among data references
+	pPrimary      float64 // hits the L1-resident primary working set
+	pSecondary    float64 // hits the LLC-resident secondary working set
+	pShared       float64 // hits the read-write shared pool
+	primaryBlocks int
+	secondBlocks  int
+	sharedBlocks  int
+	streamNext    uint64 // next block of the no-reuse dataset scan
+
+	core uint64 // region offsets
+}
+
+// Config tunes a Generator directly; NewFromWorkload derives one from a
+// calibrated workload model.
+type Config struct {
+	InstrFootprintMB  float64
+	HotCodeKB         int     // hot loop region (should fit L1-I)
+	PFar              float64 // far-jump probability per new basic-block run
+	LoadStoreFrac     float64
+	WriteFrac         float64
+	PPrimary          float64
+	PSecondary        float64
+	PShared           float64
+	PrimaryKB         int // primary working set (should fit L1-D)
+	SecondaryMB       float64
+	SharedBlocks      int
+	BlocksPerInstrRef float64
+}
+
+// Validate reports an error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.InstrFootprintMB <= 0:
+		return fmt.Errorf("trace: non-positive instruction footprint")
+	case c.HotCodeKB <= 0 || float64(c.HotCodeKB) > c.InstrFootprintMB*1024:
+		return fmt.Errorf("trace: hot code %dKB exceeds footprint", c.HotCodeKB)
+	case c.PFar < 0 || c.PFar > 1:
+		return fmt.Errorf("trace: PFar %v", c.PFar)
+	case c.LoadStoreFrac <= 0 || c.LoadStoreFrac > 1:
+		return fmt.Errorf("trace: load/store fraction %v", c.LoadStoreFrac)
+	case c.PPrimary+c.PSecondary+c.PShared > 1:
+		return fmt.Errorf("trace: data mix probabilities exceed 1")
+	case c.PrimaryKB <= 0 || c.SecondaryMB <= 0 || c.SharedBlocks <= 0:
+		return fmt.Errorf("trace: non-positive working set")
+	case c.BlocksPerInstrRef <= 0 || c.BlocksPerInstrRef > 1:
+		return fmt.Errorf("trace: blocks per instruction %v", c.BlocksPerInstrRef)
+	}
+	return nil
+}
+
+// New builds a generator for one core with the given configuration.
+func New(cfg Config, coreID int, seed uint64) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		rng:           stats.NewRng(seed ^ (uint64(coreID)+1)*0x9E3779B97F4A7C15),
+		instrBlocks:   int(cfg.InstrFootprintMB * 1024 * 1024 / cache.LineBytes),
+		hotBlocks:     cfg.HotCodeKB * 1024 / cache.LineBytes,
+		pFar:          cfg.PFar,
+		blocksPerRef:  cfg.BlocksPerInstrRef,
+		loadStoreFrac: cfg.LoadStoreFrac,
+		writeFrac:     cfg.WriteFrac,
+		pPrimary:      cfg.PPrimary,
+		pSecondary:    cfg.PSecondary,
+		pShared:       cfg.PShared,
+		primaryBlocks: cfg.PrimaryKB * 1024 / cache.LineBytes,
+		secondBlocks:  int(cfg.SecondaryMB * 1024 * 1024 / cache.LineBytes),
+		sharedBlocks:  cfg.SharedBlocks,
+		core:          uint64(coreID),
+	}
+	if g.hotBlocks > g.instrBlocks {
+		g.hotBlocks = g.instrBlocks
+	}
+	return g, nil
+}
+
+// NewFromWorkload derives trace parameters from a calibrated workload:
+// the instruction footprint comes straight from the model; the hot-code
+// and primary working-set sizes are set against the core's L1 capacities
+// so that the structural L1 miss rates land near the workload's APKI.
+func NewFromWorkload(w workload.Workload, coreType tech.CoreType, coreID int, seed uint64) (*Generator, error) {
+	spec := tech.Cores(coreType)
+	apki := w.EffectiveAPKI(coreType)
+	iAPKI := apki * w.IFetchFrac
+	dAPKI := apki - iAPKI
+
+	const loadStoreFrac = 0.32
+	// Per instruction, the I-stream advances to a new block with
+	// probability ~1/12 (mean run of 12 instructions per 64B block with
+	// taken branches). A far jump leaves the L1-resident hot region and
+	// misses; solve pFar so the expected L1-I MPKI matches iAPKI.
+	const blocksPerRef = 1.0 / 12
+	pFar := iAPKI / 1000 / blocksPerRef
+	if pFar > 0.9 {
+		pFar = 0.9
+	}
+	// Data misses: references outside the primary working set miss the
+	// L1-D; solve the secondary+stream+shared mix for dAPKI.
+	pMiss := dAPKI / 1000 / loadStoreFrac
+	if pMiss > 0.95 {
+		pMiss = 0.95
+	}
+	pShared := w.SharedFrac * pMiss // shared accesses are L1 misses too
+	cfg := Config{
+		InstrFootprintMB:  w.InstrFootprintMB,
+		HotCodeKB:         spec.L1IKB / 2, // hot loops fit half the L1-I
+		PFar:              pFar,
+		LoadStoreFrac:     loadStoreFrac,
+		WriteFrac:         0.30,
+		PPrimary:          1 - pMiss,
+		PSecondary:        (pMiss - pShared) * 0.78, // LLC-resident share
+		PShared:           pShared,
+		PrimaryKB:         spec.L1DKB / 2,
+		SecondaryMB:       1.5,
+		SharedBlocks:      512,
+		BlocksPerInstrRef: blocksPerRef,
+	}
+	return New(cfg, coreID, seed)
+}
+
+// ResidentBlocks returns the block numbers that a warmed system would
+// hold in its LLC — the instruction footprint and the shared secondary
+// working set — in LRU-friendly order (coldest first). The thesis's
+// SimFlex methodology launches from checkpoints with warmed caches
+// (Section 3.3); the structural simulator pre-fills its LLC arrays with
+// these blocks for the same reason.
+func (g *Generator) ResidentBlocks() []uint64 {
+	out := make([]uint64, 0, g.secondBlocks+g.instrBlocks+g.sharedBlocks)
+	for b := g.secondBlocks - 1; b >= 0; b-- {
+		out = append(out, secondaryBase+uint64(b)) // cold tail first
+	}
+	for b := 0; b < g.instrBlocks; b++ {
+		out = append(out, instrBase+uint64(b))
+	}
+	for b := 0; b < g.sharedBlocks; b++ {
+		out = append(out, sharedBase+uint64(b))
+	}
+	return out
+}
+
+// NextInstr returns the instruction-fetch access for one instruction, or
+// ok=false when the fetch stays within the current block (no cache
+// access needed beyond the already-fetched line).
+func (g *Generator) NextInstr() (Access, bool) {
+	if g.rng.Float64() >= g.blocksPerRef {
+		return Access{}, false
+	}
+	if g.run <= 0 {
+		// Start a new basic-block run: near (within the hot region) or
+		// far (uniform over the whole footprint).
+		g.run = g.rng.Geometric(0.25) // mean 4-block runs
+		if g.rng.Float64() < g.pFar {
+			g.pc = uint64(g.rng.Intn(g.instrBlocks))
+		} else {
+			g.pc = uint64(g.rng.Intn(g.hotBlocks))
+		}
+	}
+	g.run--
+	block := instrBase + g.pc
+	g.pc = (g.pc + 1) % uint64(g.instrBlocks)
+	return Access{Block: block, IsInstr: true}, true
+}
+
+// NextData returns the data access for one instruction, or ok=false when
+// the instruction performs no memory operation.
+func (g *Generator) NextData() (Access, bool) {
+	if g.rng.Float64() >= g.loadStoreFrac {
+		return Access{}, false
+	}
+	u := g.rng.Float64()
+	write := g.rng.Float64() < g.writeFrac
+	switch {
+	case u < g.pPrimary:
+		// Primary working set: Zipf-skewed for realistic L1 residency.
+		b := uint64(g.rng.Zipf(g.primaryBlocks, 0.6))
+		return Access{Block: privateBase + g.core*coreStride + b, IsWrite: write}, true
+	case u < g.pPrimary+g.pSecondary:
+		// The secondary working set (indexes, OS structures, session
+		// tables) is read-mostly and shared by all cores serving the
+		// same application, so it is LLC-resident like the instruction
+		// footprint (Section 3.2.2).
+		b := uint64(g.rng.Zipf(g.secondBlocks, 0.4))
+		return Access{Block: secondaryBase + b}, true
+	case u < g.pPrimary+g.pSecondary+g.pShared:
+		b := uint64(g.rng.Intn(g.sharedBlocks))
+		return Access{Block: sharedBase + b, IsWrite: write, Shared: true}, true
+	default:
+		// Streaming over the vast dataset: every block is new.
+		g.streamNext++
+		return Access{Block: streamBase + g.core*coreStride + g.streamNext, IsWrite: write}, true
+	}
+}

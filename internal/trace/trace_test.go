@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"testing"
+
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+func validCfg() Config {
+	return Config{
+		InstrFootprintMB: 1.0, HotCodeKB: 16, PFar: 0.2,
+		LoadStoreFrac: 0.32, WriteFrac: 0.3,
+		PPrimary: 0.9, PSecondary: 0.06, PShared: 0.01,
+		PrimaryKB: 16, SecondaryMB: 1.5, SharedBlocks: 512,
+		BlocksPerInstrRef: 1.0 / 12,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := validCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.InstrFootprintMB = 0 },
+		func(c *Config) { c.HotCodeKB = 0 },
+		func(c *Config) { c.HotCodeKB = 1 << 20 },
+		func(c *Config) { c.PFar = 1.5 },
+		func(c *Config) { c.LoadStoreFrac = 0 },
+		func(c *Config) { c.PPrimary = 0.9; c.PSecondary = 0.2 },
+		func(c *Config) { c.PrimaryKB = 0 },
+		func(c *Config) { c.BlocksPerInstrRef = 0 },
+	}
+	for i, mutate := range bads {
+		c := validCfg()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := New(validCfg(), 3, 7)
+	b, _ := New(validCfg(), 3, 7)
+	for i := 0; i < 10000; i++ {
+		ai, aok := a.NextInstr()
+		bi, bok := b.NextInstr()
+		if ai != bi || aok != bok {
+			t.Fatalf("instruction streams diverged at %d", i)
+		}
+		ad, aok := a.NextData()
+		bd, bok := b.NextData()
+		if ad != bd || aok != bok {
+			t.Fatalf("data streams diverged at %d", i)
+		}
+	}
+}
+
+func TestCoresGetDistinctStreams(t *testing.T) {
+	a, _ := New(validCfg(), 0, 7)
+	b, _ := New(validCfg(), 1, 7)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		ad, aok := a.NextData()
+		bd, bok := b.NextData()
+		if aok && bok && ad == bd {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("cores emitted %d identical accesses of 1000", same)
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	g, _ := New(validCfg(), 2, 1)
+	for i := 0; i < 50000; i++ {
+		if acc, ok := g.NextInstr(); ok {
+			if !acc.IsInstr || acc.IsWrite || acc.Shared {
+				t.Fatalf("instruction access flags: %+v", acc)
+			}
+			if acc.Block < instrBase || acc.Block >= privateBase {
+				t.Fatalf("instruction access outside its region: %x", acc.Block)
+			}
+		}
+		if acc, ok := g.NextData(); ok {
+			if acc.IsInstr {
+				t.Fatalf("data access flagged as instruction")
+			}
+			if acc.Block < privateBase {
+				t.Fatalf("data access in the instruction region: %x", acc.Block)
+			}
+			if acc.Shared && (acc.Block < sharedBase || acc.Block >= secondaryBase) {
+				t.Fatalf("shared access outside the shared pool: %x", acc.Block)
+			}
+		}
+	}
+}
+
+func TestStreamNeverRepeats(t *testing.T) {
+	cfg := validCfg()
+	cfg.PPrimary, cfg.PSecondary, cfg.PShared = 0.0, 0.0, 0.0 // everything streams
+	cfg.LoadStoreFrac = 1.0
+	g, _ := New(cfg, 0, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		acc, ok := g.NextData()
+		if !ok {
+			continue
+		}
+		if seen[acc.Block] {
+			t.Fatalf("streaming block %x repeated", acc.Block)
+		}
+		seen[acc.Block] = true
+	}
+}
+
+// The derived generator's access rates match the workload's statistics:
+// instruction-block accesses per instruction near BlocksPerInstrRef, and
+// the data mix summing correctly.
+func TestNewFromWorkloadRates(t *testing.T) {
+	for _, w := range workload.Suite() {
+		g, err := NewFromWorkload(w, tech.OoO, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		instrAccesses, dataAccesses := 0, 0
+		const n = 200000
+		for i := 0; i < n; i++ {
+			if _, ok := g.NextInstr(); ok {
+				instrAccesses++
+			}
+			if _, ok := g.NextData(); ok {
+				dataAccesses++
+			}
+		}
+		iRate := float64(instrAccesses) / n
+		if iRate < 0.06 || iRate > 0.11 {
+			t.Errorf("%s: I-block rate %v, want ~1/12", w.Name, iRate)
+		}
+		dRate := float64(dataAccesses) / n
+		if dRate < 0.25 || dRate > 0.40 {
+			t.Errorf("%s: data rate %v, want ~0.32", w.Name, dRate)
+		}
+	}
+}
+
+func TestResidentBlocksCoverFootprint(t *testing.T) {
+	g, err := NewFromWorkload(mustWorkload(t), tech.OoO, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := g.ResidentBlocks()
+	if len(blocks) == 0 {
+		t.Fatal("empty resident set")
+	}
+	var instr, secondary, shared int
+	for _, b := range blocks {
+		switch {
+		case b >= instrBase && b < privateBase:
+			instr++
+		case b >= secondaryBase && b < streamBase:
+			secondary++
+		case b >= sharedBase && b < secondaryBase:
+			shared++
+		}
+	}
+	if instr != g.instrBlocks || secondary != g.secondBlocks || shared != g.sharedBlocks {
+		t.Fatalf("resident set %d/%d/%d, want %d/%d/%d",
+			instr, secondary, shared, g.instrBlocks, g.secondBlocks, g.sharedBlocks)
+	}
+}
+
+func mustWorkload(t *testing.T) workload.Workload {
+	t.Helper()
+	w, ok := workload.ByName(workload.WebSearch)
+	if !ok {
+		t.Fatal("missing workload")
+	}
+	return w
+}
+
+func TestSharedWritesOccur(t *testing.T) {
+	g, _ := NewFromWorkload(mustWorkload(t), tech.OoO, 0, 1)
+	sharedWrites := 0
+	for i := 0; i < 500000; i++ {
+		if acc, ok := g.NextData(); ok && acc.Shared && acc.IsWrite {
+			sharedWrites++
+		}
+	}
+	if sharedWrites == 0 {
+		t.Fatal("no shared writes generated; coherence would be silent")
+	}
+}
