@@ -10,12 +10,14 @@
 package scaleout
 
 import (
+	"context"
 	"testing"
 
 	"scaleout/internal/analytic"
 	"scaleout/internal/cache"
 	"scaleout/internal/chip"
 	"scaleout/internal/core"
+	"scaleout/internal/exp"
 	"scaleout/internal/figures"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
@@ -72,6 +74,24 @@ func BenchmarkFig6_5(b *testing.B)   { benchExperiment(b, "fig6.5") }
 func BenchmarkFig6_6(b *testing.B)   { benchExperiment(b, "fig6.6") }
 func BenchmarkFig6_7(b *testing.B)   { benchExperiment(b, "fig6.7") }
 func BenchmarkTable6_2(b *testing.B) { benchExperiment(b, "table6.2") }
+
+// Full-harness regeneration on the experiment engine. Each iteration
+// uses a fresh engine (fresh memo), so the numbers measure real
+// simulation work; the Serial/Parallel pair tracks the speedup from the
+// concurrent sweep runner in the perf trajectory.
+
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ctx := exp.WithEngine(context.Background(), exp.New(workers))
+		if _, err := figures.RunAllContext(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
 
 // Substrate microbenchmarks.
 

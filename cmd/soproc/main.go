@@ -3,25 +3,46 @@
 //
 // Usage:
 //
-//	soproc -list            list experiment IDs
-//	soproc -exp fig4.6      run one experiment
-//	soproc -all             run every experiment
+//	soproc -list                 list experiment IDs
+//	soproc -exp fig4.6           run one experiment
+//	soproc -all                  run every experiment
+//	soproc -all -parallel 8      ... on an 8-worker engine
+//	soproc -all -timeout 2m      ... aborting after two minutes
+//
+// Experiments run on the parallel, memoizing engine (internal/exp):
+// sweep points fan out across -parallel workers (default GOMAXPROCS)
+// and identical configurations shared between figures are simulated
+// once. Output is deterministic — independent of the worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"scaleout/internal/exp"
 	"scaleout/internal/figures"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs")
-	exp := flag.String("exp", "", "experiment ID to run (e.g. fig2.2, table3.2)")
+	expID := flag.String("exp", "", "experiment ID to run (e.g. fig2.2, table3.2)")
 	all := flag.Bool("all", false, "run every experiment")
 	format := flag.String("format", "table", "output format: table | csv")
+	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort if regeneration exceeds this duration (0 = none)")
+	verbose := flag.Bool("v", false, "report engine statistics on stderr")
 	flag.Parse()
+
+	eng := exp.New(*parallel)
+	ctx := exp.WithEngine(context.Background(), eng)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	render := func(t figures.Table) string {
 		if *format == "csv" {
@@ -30,21 +51,23 @@ func main() {
 		return t.String()
 	}
 
+	start := time.Now()
 	switch {
 	case *list:
 		for _, id := range figures.IDs() {
 			fmt.Println(id)
 		}
+		return
 	case *all:
-		tables, err := figures.RunAll()
+		tables, err := figures.RunAllContext(ctx)
 		if err != nil {
 			fail(err)
 		}
 		for _, t := range tables {
 			fmt.Println(render(t))
 		}
-	case *exp != "":
-		t, err := figures.Run(*exp)
+	case *expID != "":
+		t, err := figures.RunContext(ctx, *expID)
 		if err != nil {
 			fail(err)
 		}
@@ -52,6 +75,11 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *verbose {
+		hits, misses := eng.Stats()
+		fmt.Fprintf(os.Stderr, "soproc: %d workers, %d points simulated, %d served from memo, %s\n",
+			eng.Workers(), misses, hits, time.Since(start).Round(time.Millisecond))
 	}
 }
 

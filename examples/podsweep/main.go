@@ -1,17 +1,25 @@
-// Podsweep: the full Chapter 2-3 design-space study. Compares every
+// Podsweep: the full Chapter 2-3 design-space study, and the canonical
+// usage example for the experiment engine (internal/exp). Compares every
 // server-processor organization (conventional, tiled, LLC-optimal,
 // instruction-replicated, ideal, Scale-Out) at 40nm and 20nm, prints the
-// pod performance-density surfaces for both core types, and validates the
-// analytic model against the cycle simulator on one configuration.
+// pod performance-density surfaces for both core types, and validates
+// the analytic model against the cycle simulator.
+//
+// The validation sweep is declared as a batch of sim.Configs and handed
+// to the engine, which fans the independent points out across
+// GOMAXPROCS workers and returns results in input order — the pattern
+// every generator in internal/figures follows.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"scaleout/internal/analytic"
 	"scaleout/internal/chip"
 	"scaleout/internal/core"
+	"scaleout/internal/exp"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
@@ -48,17 +56,23 @@ func main() {
 	}
 
 	fmt.Println("\n== Model validation: simulator vs analytic (16-core pod, 4MB) ==")
-	for _, w := range ws {
-		cfg := sim.Config{
+	// Declare one sweep point per workload and run the batch on the
+	// engine; results come back in input order.
+	cfgs := make([]sim.Config, len(ws))
+	for i, w := range ws {
+		cfgs[i] = sim.Config{
 			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4,
 			Net: noc.New(noc.Crossbar, 16), DisableSWScaling: true,
 		}
-		r, err := sim.Run(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+	}
+	eng := exp.Default()
+	rs, err := eng.Sims(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, w := range ws {
 		model := analytic.ChipIPC(w, analytic.NewDesign(tech.OoO, 16, 4, noc.Crossbar))
 		fmt.Printf("  %-16s sim %5.2f  model %5.2f  (%+.1f%%)\n",
-			w.Name, r.AppIPC, model, 100*(r.AppIPC-model)/model)
+			w.Name, rs[i].AppIPC, model, 100*(rs[i].AppIPC-model)/model)
 	}
 }

@@ -1,0 +1,3 @@
+module scaleout
+
+go 1.22

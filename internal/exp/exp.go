@@ -1,0 +1,337 @@
+// Package exp is the experiment engine every sweep in this repository
+// runs on: a fixed-size worker pool that fans independent sweep points
+// out across GOMAXPROCS goroutines, returns results in deterministic
+// input order, and memoizes each point by a canonical fingerprint of its
+// configuration so identical points — the same baseline chip appears in
+// several chapters' figures — are simulated exactly once per process.
+//
+// A sweep point is anything implementing Point: a cycle-simulator run
+// (SimPoint), a structural-simulator run (StructuralPoint), or an
+// arbitrary deterministic evaluation such as an analytic-model call
+// (Func). Generators declare their points, hand them to an Engine, and
+// assemble tables from the ordered results; they never loop over sim.Run
+// inline. Because every underlying computation is deterministic, a
+// parallel run is byte-identical to a serial (workers=1) run.
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"scaleout/internal/sim"
+)
+
+// Point is one unit of experiment work: a canonical fingerprint plus the
+// deterministic computation it identifies. Two points with equal non-empty
+// keys must describe identical computations; the engine computes each
+// distinct key at most once per process and serves later requests from
+// the memo. An empty key disables memoization for that point.
+type Point[R any] interface {
+	Key() string
+	Compute() (R, error)
+}
+
+// SimPoint runs the cycle-level simulator on one configuration.
+type SimPoint struct{ Config sim.Config }
+
+// Key fingerprints the defaults-applied configuration, so two Configs
+// that differ only in fields the simulator would default identically
+// (e.g. an explicit crossbar vs the zero-value default) share a key.
+func (p SimPoint) Key() string {
+	c, err := p.Config.Canonical()
+	if err != nil {
+		c = p.Config // invalid: key the raw form, Compute reports the error
+	}
+	return "sim:" + Fingerprint(c)
+}
+
+// Compute runs the simulation.
+func (p SimPoint) Compute() (sim.Result, error) { return sim.Run(p.Config) }
+
+// StructuralPoint runs the structural simulator on one configuration.
+type StructuralPoint struct{ Config sim.StructuralConfig }
+
+// Key fingerprints the defaults-applied configuration.
+func (p StructuralPoint) Key() string {
+	c, err := p.Config.Canonical()
+	if err != nil {
+		c = p.Config
+	}
+	return "structural:" + Fingerprint(c)
+}
+
+// Compute runs the structural simulation.
+func (p StructuralPoint) Compute() (sim.StructuralResult, error) {
+	return sim.RunStructural(p.Config)
+}
+
+// Func adapts an arbitrary deterministic computation — an analytic-model
+// evaluation, a chip composition, a TCO build — into a Point. K must
+// canonically identify the computation; leave it empty to run the point
+// unmemoized (the usual choice for cheap analytic evaluations).
+type Func[R any] struct {
+	K string
+	F func() (R, error)
+}
+
+// Key returns the caller-chosen fingerprint.
+func (p Func[R]) Key() string { return p.K }
+
+// Compute invokes the wrapped function.
+func (p Func[R]) Compute() (R, error) { return p.F() }
+
+// Fingerprint canonically serializes a configuration value. fmt prints
+// map fields in sorted key order, so two equal values always produce the
+// same string regardless of construction order.
+func Fingerprint(v any) string { return fmt.Sprintf("%#v", v) }
+
+// Engine is a parallel, memoizing sweep runner. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use by
+// any number of goroutines; its memo is shared across all batches run
+// on it for the life of the process.
+type Engine struct {
+	sem  chan struct{} // one slot per worker
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// memoEntry is the memo slot for one key. done is closed once val/err
+// are final, so concurrent requests for an in-flight key wait instead of
+// recomputing.
+type memoEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns an engine with the given worker-pool size; workers <= 0
+// selects GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		sem:  make(chan struct{}, workers),
+		memo: make(map[string]*memoEntry),
+	}
+}
+
+// Workers reports the worker-pool size.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Stats reports memo hits (points served from cache, including waits on
+// in-flight duplicates) and misses (points actually computed).
+func (e *Engine) Stats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+var defaultEngine = New(0)
+
+// Default returns the process-wide engine: GOMAXPROCS workers and a
+// memo shared by everything that does not install its own engine.
+func Default() *Engine { return defaultEngine }
+
+type ctxKey struct{}
+
+// WithEngine returns a context carrying e; experiment code retrieves it
+// with FromContext. This is how the CLI's -parallel flag and the
+// serial-baseline tests select a pool size without threading an Engine
+// through every generator signature.
+func WithEngine(ctx context.Context, e *Engine) context.Context {
+	return context.WithValue(ctx, ctxKey{}, e)
+}
+
+// FromContext returns the context's engine, or Default if none is set.
+func FromContext(ctx context.Context) *Engine {
+	if e, ok := ctx.Value(ctxKey{}).(*Engine); ok && e != nil {
+		return e
+	}
+	return Default()
+}
+
+// Points evaluates every point on e's worker pool and returns results in
+// input order. The first error (in input order, preferring genuine
+// failures over cancellations) aborts the batch; points already running
+// finish and are memoized for later callers.
+//
+// A point's Compute must not call back into the same engine: it runs
+// while holding a worker slot, so nested Points/Sims/Map calls can
+// exhaust the pool and deadlock. Declare the full sweep up front
+// instead.
+func Points[R any](ctx context.Context, e *Engine, pts []Point[R]) ([]R, error) {
+	// A genuine failure cancels the batch's context so queued points
+	// stop at acquire instead of burning workers on a doomed batch.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]R, len(pts))
+	errs := make([]error, len(pts))
+	var wg sync.WaitGroup
+	for i, p := range pts {
+		wg.Add(1)
+		go func(i int, p Point[R]) {
+			defer wg.Done()
+			out[i], errs[i] = resolve(ctx, e, p)
+			if errs[i] != nil && !isCancellation(errs[i]) {
+				cancel()
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	if err := FirstError(errs, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FirstError selects a batch's reportable error: the first genuine
+// failure in input order or, if every error is a cancellation, the
+// first cancellation — so a deterministic config error is never masked
+// by the cancellations it triggered in sibling points. A non-nil wrap
+// decorates the chosen error with its index (e.g. an experiment ID).
+// It returns nil if every error is nil.
+func FirstError(errs []error, wrap func(int, error) error) error {
+	if wrap == nil {
+		wrap = func(_ int, err error) error { return err }
+	}
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !isCancellation(err) {
+			return wrap(i, err)
+		}
+		if first == nil {
+			first = wrap(i, err)
+		}
+	}
+	return first
+}
+
+// Sims evaluates a batch of cycle-simulator configurations.
+func (e *Engine) Sims(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error) {
+	pts := make([]Point[sim.Result], len(cfgs))
+	for i, c := range cfgs {
+		pts[i] = SimPoint{c}
+	}
+	return Points(ctx, e, pts)
+}
+
+// Structurals evaluates a batch of structural-simulator configurations.
+func (e *Engine) Structurals(ctx context.Context, cfgs []sim.StructuralConfig) ([]sim.StructuralResult, error) {
+	pts := make([]Point[sim.StructuralResult], len(cfgs))
+	for i, c := range cfgs {
+		pts[i] = StructuralPoint{c}
+	}
+	return Points(ctx, e, pts)
+}
+
+// Map evaluates fn over items on e's worker pool, unmemoized, returning
+// results in input order — the fan-out primitive for analytic-model
+// sweeps whose points are cheap but numerous.
+func Map[T, R any](ctx context.Context, e *Engine, items []T, fn func(T) (R, error)) ([]R, error) {
+	pts := make([]Point[R], len(items))
+	for i, item := range items {
+		item := item
+		pts[i] = Func[R]{F: func() (R, error) { return fn(item) }}
+	}
+	return Points(ctx, e, pts)
+}
+
+// resolve computes one point, consulting and populating the memo.
+func resolve[R any](ctx context.Context, e *Engine, p Point[R]) (R, error) {
+	var zero R
+	key := p.Key()
+	if key == "" {
+		if err := e.acquire(ctx); err != nil {
+			return zero, err
+		}
+		defer e.release()
+		return p.Compute()
+	}
+
+	var ent *memoEntry
+	for {
+		e.mu.Lock()
+		if existing, ok := e.memo[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-existing.done:
+				if isCancellation(existing.err) {
+					// The owner was cancelled before it could compute
+					// and withdrew the entry; retry under our own
+					// context rather than inheriting its cancellation.
+					continue
+				}
+				e.hits.Add(1)
+				return entValue[R](existing)
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+		}
+		ent = &memoEntry{done: make(chan struct{})}
+		e.memo[key] = ent
+		e.mu.Unlock()
+		break
+	}
+
+	if err := e.acquire(ctx); err != nil {
+		// Never computed: withdraw the entry so a later batch can retry,
+		// and release current waiters with the cancellation.
+		e.mu.Lock()
+		delete(e.memo, key)
+		e.mu.Unlock()
+		ent.err = err
+		close(ent.done)
+		return zero, err
+	}
+	e.misses.Add(1)
+	ent.val, ent.err = p.Compute()
+	e.release()
+	if isCancellation(ent.err) {
+		// A cancellation is not a fact about the point; withdraw the
+		// entry (before closing done, so woken waiters re-find an empty
+		// slot) so another batch can compute it for real.
+		e.mu.Lock()
+		delete(e.memo, key)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return entValue[R](ent)
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func entValue[R any](ent *memoEntry) (R, error) {
+	if ent.err != nil {
+		var zero R
+		return zero, ent.err
+	}
+	return ent.val.(R), nil
+}
+
+func (e *Engine) acquire(ctx context.Context) error {
+	// Check cancellation first: select chooses randomly among ready
+	// cases, and a cancelled batch must not start new work just because
+	// a worker slot happens to be free.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }

@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"scaleout/internal/chip"
 	"scaleout/internal/core"
+	"scaleout/internal/exp"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tco"
@@ -30,7 +32,7 @@ func init() {
 // granularity: many small pods vs few large ones. The methodology's
 // claim — a PD-optimal mid-size pod beats both extremes at the chip
 // level — is visible directly.
-func ablatePodSize() (Table, error) {
+func ablatePodSize(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	n := tech.N40()
 	t := Table{
@@ -57,7 +59,7 @@ func ablatePodSize() (Table, error) {
 // ablatePodLLC varies only the per-pod LLC capacity of the 16-core pod:
 // too little capacity floods the memory channels; too much wastes core
 // area — the Figure 2.2 trade-off at chip level.
-func ablatePodLLC() (Table, error) {
+func ablatePodLLC(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	n := tech.N40()
 	t := Table{
@@ -78,8 +80,8 @@ func ablatePodLLC() (Table, error) {
 }
 
 // ablateBanks sweeps NOC-Out's banks-per-LLC-tile choice on the
-// structural simulator (Section 4.3.1 settles on two banks per tile).
-func ablateBanks() (Table, error) {
+// cycle simulator (Section 4.3.1 settles on two banks per tile).
+func ablateBanks(ctx context.Context) (Table, error) {
 	w, ok := workload.ByName(workload.DataServing) // the contention-sensitive one
 	if !ok {
 		return Table{}, fmt.Errorf("missing workload")
@@ -90,17 +92,22 @@ func ablateBanks() (Table, error) {
 		Note:    "statistical simulator; bank accept interval doubles as banks halve",
 		Headers: []string{"LLC tiles", "Banks", "AppIPC"},
 	}
-	for _, tiles := range []int{4, 8, 16} {
+	tiles := []int{4, 8, 16}
+	cfgs := make([]sim.Config, len(tiles))
+	for i, n := range tiles {
 		net := noc.New(noc.NOCOut, ch4Cores)
-		net.LLCTiles = tiles
-		r, err := sim.Run(sim.Config{
+		net.LLCTiles = n
+		cfgs[i] = sim.Config{
 			Workload: w, CoreType: tech.OoO, Cores: ch4Cores, LLCMB: ch4LLCMB,
 			Net: net, MemChannels: ch4Channels,
-		})
-		if err != nil {
-			return t, err
 		}
-		t.AddRow(itoa(tiles), itoa(2*tiles), f2(r.AppIPC))
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	for i, n := range tiles {
+		t.AddRow(itoa(n), itoa(2*n), f2(rs[i].AppIPC))
 	}
 	return t, nil
 }
@@ -108,7 +115,7 @@ func ablateBanks() (Table, error) {
 // ablateMSHR sweeps the per-core MSHR file on the structural simulator:
 // Table 2.2's 32 entries are ample; the knee sits near the workloads'
 // memory-level parallelism.
-func ablateMSHR() (Table, error) {
+func ablateMSHR(ctx context.Context) (Table, error) {
 	w, ok := workload.ByName(workload.SATSolver) // highest MLP
 	if !ok {
 		return Table{}, fmt.Errorf("missing workload")
@@ -118,22 +125,29 @@ func ablateMSHR() (Table, error) {
 		Title:   "Per-core MSHR entries vs performance (SAT Solver, structural sim)",
 		Headers: []string{"MSHRs", "AppIPC", "Stall %"},
 	}
-	for _, entries := range []int{1, 2, 4, 8, 16, 32} {
-		r, err := sim.RunStructural(sim.StructuralConfig{
-			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4, L1MSHRs: entries,
-		})
-		if err != nil {
-			return t, err
+	entries := []int{1, 2, 4, 8, 16, 32}
+	cfgs := make([]sim.StructuralConfig, len(entries))
+	for i, e := range entries {
+		cfgs[i] = sim.StructuralConfig{
+			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4, L1MSHRs: e,
 		}
-		t.AddRow(itoa(entries), f2(r.AppIPC), f2(r.MSHRStallPct))
+	}
+	rs, err := exp.FromContext(ctx).Structurals(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	for i, e := range entries {
+		t.AddRow(itoa(e), f2(rs[i].AppIPC), f2(rs[i].MSHRStallPct))
 	}
 	return t, nil
 }
 
 // ablateLinkWidth sweeps NoC link width: the mesh barely cares (header
 // latency dominates), the flattened butterfly collapses below ~64 bits
-// (serialization), exactly the asymmetry Section 4.4.3 exploits.
-func ablateLinkWidth() (Table, error) {
+// (serialization), exactly the asymmetry Section 4.4.3 exploits. The
+// 128-bit points are the calibration baseline and are shared with the
+// Chapter-4 figures, so the engine memo already holds them.
+func ablateLinkWidth(ctx context.Context) (Table, error) {
 	w, ok := workload.ByName(workload.MediaStreaming)
 	if !ok {
 		return Table{}, fmt.Errorf("missing workload")
@@ -144,19 +158,27 @@ func ablateLinkWidth() (Table, error) {
 		Note:    "normalized to 128-bit links per topology",
 		Headers: []string{"Bits", "Mesh", "FBfly", "NOC-Out"},
 	}
-	base := map[noc.Kind]float64{}
 	kinds := []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut}
-	for _, bits := range []int{128, 64, 32, 16} {
-		row := []string{itoa(bits)}
+	widths := []int{128, 64, 32, 16}
+	var cfgs []sim.Config
+	for _, bits := range widths {
 		for _, kind := range kinds {
-			r, err := ch4Sim(w, kind, bits)
-			if err != nil {
-				return t, err
-			}
+			cfgs = append(cfgs, ch4Cfg(w, kind, bits))
+		}
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	base := map[noc.Kind]float64{}
+	for i, bits := range widths {
+		row := []string{itoa(bits)}
+		for k, kind := range kinds {
+			ipc := rs[i*len(kinds)+k].AppIPC
 			if bits == 128 {
-				base[kind] = r.AppIPC
+				base[kind] = ipc
 			}
-			row = append(row, f2(r.AppIPC/base[kind]))
+			row = append(row, f2(ipc/base[kind]))
 		}
 		t.AddRow(row...)
 	}
@@ -167,7 +189,7 @@ func ablateLinkWidth() (Table, error) {
 // share-heavy workload: even at 4x the calibrated sharing (a ~26% snoop
 // rate), performance falls only ~11% — the workload class tolerates
 // minimal connectivity (Section 2.1.5).
-func ablateSharing() (Table, error) {
+func ablateSharing(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "ablate.sharing",
 		Title:   "Sharing intensity vs snoop rate and performance (Web Frontend)",
@@ -177,17 +199,22 @@ func ablateSharing() (Table, error) {
 	if !ok {
 		return t, fmt.Errorf("missing workload")
 	}
-	for _, mult := range []float64{0, 0.5, 1, 2, 4} {
+	mults := []float64{0, 0.5, 1, 2, 4}
+	cfgs := make([]sim.Config, len(mults))
+	for i, mult := range mults {
 		ww := w
 		ww.SharedFrac = w.SharedFrac * mult
-		r, err := sim.Run(sim.Config{
+		cfgs[i] = sim.Config{
 			Workload: ww, CoreType: tech.OoO, Cores: 32, LLCMB: 8,
 			Net: noc.New(noc.Mesh, 64), MemChannels: 4,
-		})
-		if err != nil {
-			return t, err
 		}
-		t.AddRow(fg(mult), f1(r.SnoopRatePct), f2(r.AppIPC))
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	for i, mult := range mults {
+		t.AddRow(fg(mult), f1(rs[i].SnoopRatePct), f2(rs[i].AppIPC))
 	}
 	return t, nil
 }
@@ -195,8 +222,9 @@ func ablateSharing() (Table, error) {
 // ablateTCO stresses the Chapter-5 ranking against the cost-model inputs
 // a datacenter operator cannot control: the electricity price and the
 // facility PUE. The Scale-Out designs' perf/TCO lead over the
-// conventional design must survive across the whole range.
-func ablateTCO() (Table, error) {
+// conventional design must survive across the whole range. One engine
+// point evaluates one electricity-price row across the PUE columns.
+func ablateTCO(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	specs := chip.TCOCatalog(ws)
 	conv, ok := chip.Find(specs, chip.ConventionalOrg, tech.Conventional)
@@ -213,23 +241,28 @@ func ablateTCO() (Table, error) {
 		Note:    "lead = Scale-Out perf/TCO over conventional; 64GB per 1U",
 		Headers: []string{"$/kWh", "PUE 1.1", "PUE 1.3", "PUE 1.7", "PUE 2.0"},
 	}
-	for _, price := range []float64{0.03, 0.07, 0.15, 0.30} {
-		row := []string{fmt.Sprintf("%.2f", price)}
-		for _, pue := range []float64{1.1, 1.3, 1.7, 2.0} {
-			p := tco.NewParams()
-			p.ElectricityPerKWh = price
-			p.PUE = pue
-			dcC, err := tco.Compose(p, conv, 64, ws)
-			if err != nil {
-				return t, err
+	rows, err := exp.Map(ctx, exp.FromContext(ctx), []float64{0.03, 0.07, 0.15, 0.30},
+		func(price float64) ([]string, error) {
+			row := []string{fmt.Sprintf("%.2f", price)}
+			for _, pue := range []float64{1.1, 1.3, 1.7, 2.0} {
+				p := tco.NewParams()
+				p.ElectricityPerKWh = price
+				p.PUE = pue
+				dcC, err := tco.Compose(p, conv, 64, ws)
+				if err != nil {
+					return nil, err
+				}
+				dcS, err := tco.Compose(p, soI, 64, ws)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(dcS.PerfPerTCO()/dcC.PerfPerTCO()))
 			}
-			dcS, err := tco.Compose(p, soI, 64, ws)
-			if err != nil {
-				return t, err
-			}
-			row = append(row, f2(dcS.PerfPerTCO()/dcC.PerfPerTCO()))
-		}
-		t.AddRow(row...)
+			return row, nil
+		})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }

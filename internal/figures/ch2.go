@@ -1,8 +1,11 @@
 package figures
 
 import (
+	"context"
+
 	"scaleout/internal/analytic"
 	"scaleout/internal/chip"
+	"scaleout/internal/exp"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
@@ -13,30 +16,35 @@ func init() {
 	register("fig2.1", fig21)
 	register("fig2.2", fig22)
 	register("fig2.3", fig23)
-	register("table2.3", func() (Table, error) { return catalogTable("table2.3", tech.N40()) })
-	register("table2.4", func() (Table, error) { return catalogTable("table2.4", tech.N20()) })
+	register("table2.3", func(ctx context.Context) (Table, error) { return catalogTable("table2.3", tech.N40()) })
+	register("table2.4", func(ctx context.Context) (Table, error) { return catalogTable("table2.4", tech.N20()) })
 }
 
 // fig21 measures application IPC per workload on the aggressive
 // out-of-order (conventional) core, on the simulator, as Figure 2.1:
 // Media Streaming below 1, Data Serving and MapReduce-C around 1, the
 // rest between 1 and 2, all far below the 4-wide peak.
-func fig21() (Table, error) {
+func fig21(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "fig2.1",
 		Title:   "Application IPC on an aggressive OoO core (max IPC 4)",
 		Note:    "cycle simulation, 4 cores, 4MB LLC, crossbar",
 		Headers: []string{"Workload", "App IPC"},
 	}
-	for _, w := range workload.Suite() {
-		r, err := sim.Run(sim.Config{
+	ws := workload.Suite()
+	cfgs := make([]sim.Config, len(ws))
+	for i, w := range ws {
+		cfgs[i] = sim.Config{
 			Workload: w, CoreType: tech.Conventional, Cores: 4, LLCMB: 4,
 			Net: noc.New(noc.Crossbar, 4), DisableSWScaling: true,
-		})
-		if err != nil {
-			return t, err
 		}
-		t.AddRow(w.Name, f2(r.PerCoreIPC))
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	for i, w := range ws {
+		t.AddRow(w.Name, f2(rs[i].PerCoreIPC))
 	}
 	return t, nil
 }
@@ -45,7 +53,7 @@ func fig21() (Table, error) {
 // performance normalized to the 1MB point (Figure 2.2): capacities of
 // 2-8MB suffice for most workloads; MapReduce-C and SAT Solver keep
 // gaining to 16MB; beyond that latency wins and performance falls.
-func fig22() (Table, error) {
+func fig22(ctx context.Context) (Table, error) {
 	sizes := []float64{1, 2, 4, 8, 16, 32}
 	t := Table{
 		ID:      "fig2.2",
@@ -53,19 +61,24 @@ func fig22() (Table, error) {
 		Note:    "analytic model, normalized to 1MB",
 		Headers: []string{"Workload", "1MB", "2MB", "4MB", "8MB", "16MB", "32MB"},
 	}
-	for _, w := range workload.Suite() {
-		row := []string{w.Name}
-		base := 0.0
-		for i, mb := range sizes {
-			d := analytic.NewDesign(tech.Conventional, 4, mb, noc.Crossbar)
-			perf := analytic.ChipIPC(w, d)
-			if i == 0 {
-				base = perf
+	rows, err := exp.Map(ctx, exp.FromContext(ctx), workload.Suite(),
+		func(w workload.Workload) ([]string, error) {
+			row := []string{w.Name}
+			base := 0.0
+			for i, mb := range sizes {
+				d := analytic.NewDesign(tech.Conventional, 4, mb, noc.Crossbar)
+				perf := analytic.ChipIPC(w, d)
+				if i == 0 {
+					base = perf
+				}
+				row = append(row, f3(perf/base))
 			}
-			row = append(row, f3(perf/base))
-		}
-		t.AddRow(row...)
+			return row, nil
+		})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -74,7 +87,7 @@ func fig22() (Table, error) {
 // (Figure 2.3): per-core performance degrades slowly under the ideal
 // network (sharing only) but steeply under the mesh (distance), cutting
 // aggregate throughput at 256 cores.
-func fig23() (Table, error) {
+func fig23(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	t := Table{
 		ID:    "fig2.3",
@@ -84,12 +97,20 @@ func fig23() (Table, error) {
 			"Chip(Ideal)", "Chip(Mesh)"},
 	}
 	base := analytic.SuiteMeanPerCoreIPC(ws, analytic.NewDesign(tech.OoO, 1, 4, noc.Ideal))
+	var cores []int
 	for c := 1; c <= 256; c *= 2 {
+		cores = append(cores, c)
+	}
+	rows, err := exp.Map(ctx, exp.FromContext(ctx), cores, func(c int) ([]string, error) {
 		ideal := analytic.SuiteMeanPerCoreIPC(ws, analytic.NewDesign(tech.OoO, c, 4, noc.Ideal))
 		mesh := analytic.SuiteMeanPerCoreIPC(ws, analytic.NewDesign(tech.OoO, c, 4, noc.Mesh))
-		t.AddRow(itoa(c), f3(ideal/base), f3(mesh/base),
-			f1(float64(c)*ideal/base), f1(float64(c)*mesh/base))
+		return []string{itoa(c), f3(ideal / base), f3(mesh / base),
+			f1(float64(c) * ideal / base), f1(float64(c) * mesh / base)}, nil
+	})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

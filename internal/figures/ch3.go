@@ -1,9 +1,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"scaleout/internal/core"
+	"scaleout/internal/exp"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
@@ -13,16 +15,16 @@ import (
 func init() {
 	register("fig3.1", fig31)
 	register("fig3.3", fig33)
-	register("fig3.4", func() (Table, error) { return pdSweep("fig3.4", tech.OoO) })
+	register("fig3.4", func(ctx context.Context) (Table, error) { return pdSweep(ctx, "fig3.4", tech.OoO) })
 	register("fig3.5", fig35)
-	register("fig3.6", func() (Table, error) { return pdSweep("fig3.6", tech.InOrder) })
+	register("fig3.6", func(ctx context.Context) (Table, error) { return pdSweep(ctx, "fig3.6", tech.InOrder) })
 	register("table3.2", table32)
 }
 
 // fig31 reproduces the intuition plot of Figure 3.1: as cores share a
 // fixed LLC, per-core performance falls, chip performance grows
 // sub-linearly, and performance density peaks at the balance point.
-func fig31() (Table, error) {
+func fig31(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	t := Table{
 		ID:      "fig3.1",
@@ -66,13 +68,23 @@ func fig31() (Table, error) {
 // interconnects (Figure 3.3). The simulator includes the software-
 // scalability derating the model deliberately omits, so the two diverge
 // at 32-64 cores on the poorly scaling workloads — as in the thesis.
-func fig33() (Table, error) {
+// The sweep is declared up front — one point per (workload, net, cores)
+// — and fanned out on the engine; the table is assembled from the
+// ordered results.
+func fig33(ctx context.Context) (Table, error) {
 	n := tech.N40()
 	t := Table{
 		ID:      "fig3.3",
 		Title:   "Model validation: simulation vs analytic PD (OoO, 4MB LLC)",
 		Headers: []string{"Workload", "Net", "Cores", "PD(sim)", "PD(model)", "Err%"},
 	}
+	type point struct {
+		w    workload.Workload
+		kind noc.Kind
+		c    int
+	}
+	var pts []point
+	var cfgs []sim.Config
 	kinds := []noc.Kind{noc.Ideal, noc.Crossbar, noc.Mesh}
 	for _, w := range workload.Suite() {
 		for _, kind := range kinds {
@@ -80,20 +92,24 @@ func fig33() (Table, error) {
 				if c > w.ScaleLimit {
 					continue
 				}
-				p := core.Pod{Core: tech.OoO, Cores: c, LLCMB: 4, Net: kind}
-				model := p.PD(n, workloadSlice(w))
-				r, err := sim.Run(sim.Config{
+				pts = append(pts, point{w, kind, c})
+				cfgs = append(cfgs, sim.Config{
 					Workload: w, CoreType: tech.OoO, Cores: c, LLCMB: 4,
 					Net: noc.New(kind, c),
 				})
-				if err != nil {
-					return t, err
-				}
-				simPD := r.AppIPC / p.Area(n)
-				errPct := 100 * (simPD - model) / model
-				t.AddRow(w.Name, kind.String(), itoa(c), f3(simPD), f3(model), f1(errPct))
 			}
 		}
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	for i, pt := range pts {
+		p := core.Pod{Core: tech.OoO, Cores: pt.c, LLCMB: 4, Net: pt.kind}
+		model := p.PD(n, workloadSlice(pt.w))
+		simPD := rs[i].AppIPC / p.Area(n)
+		errPct := 100 * (simPD - model) / model
+		t.AddRow(pt.w.Name, pt.kind.String(), itoa(pt.c), f3(simPD), f3(model), f1(errPct))
 	}
 	return t, nil
 }
@@ -104,8 +120,9 @@ func workloadSlice(w workload.Workload) []workload.Workload {
 
 // pdSweep renders Figures 3.4 (OoO) and 3.6 (in-order): suite-mean pod
 // performance density across core counts, LLC sizes 1-8MB, and three
-// interconnects.
-func pdSweep(id string, coreType tech.CoreType) (Table, error) {
+// interconnects. One engine point evaluates one (LLC, net) row of the
+// analytic surface.
+func pdSweep(ctx context.Context, id string, coreType tech.CoreType) (Table, error) {
 	ws := workload.Suite()
 	n := tech.N40()
 	t := Table{
@@ -113,16 +130,28 @@ func pdSweep(id string, coreType tech.CoreType) (Table, error) {
 		Title:   fmt.Sprintf("Performance density sweep (%s cores, 40nm)", coreType),
 		Headers: []string{"LLC(MB)", "Net", "1", "2", "4", "8", "16", "32", "64", "128", "256"},
 	}
+	type rowSpec struct {
+		llc  float64
+		kind noc.Kind
+	}
+	var specs []rowSpec
 	for _, llc := range []float64{1, 2, 4, 8} {
 		for _, kind := range []noc.Kind{noc.Ideal, noc.Crossbar, noc.Mesh} {
-			row := []string{fg(llc), kind.String()}
-			for c := 1; c <= 256; c *= 2 {
-				p := core.Pod{Core: coreType, Cores: c, LLCMB: llc, Net: kind}
-				row = append(row, f3(p.PD(n, ws)))
-			}
-			t.AddRow(row...)
+			specs = append(specs, rowSpec{llc, kind})
 		}
 	}
+	rows, err := exp.Map(ctx, exp.FromContext(ctx), specs, func(s rowSpec) ([]string, error) {
+		row := []string{fg(s.llc), s.kind.String()}
+		for c := 1; c <= 256; c *= 2 {
+			p := core.Pod{Core: coreType, Cores: c, LLCMB: s.llc, Net: s.kind}
+			row = append(row, f3(p.PD(n, ws)))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -130,7 +159,7 @@ func pdSweep(id string, coreType tech.CoreType) (Table, error) {
 // near-optimal selection rule of Section 3.4.2: the 16-core/4MB pod is
 // adopted because it sits within 5% of the flat 32-core optimum at far
 // lower design complexity.
-func fig35() (Table, error) {
+func fig35(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	n := tech.N40()
 	t := Table{
@@ -164,7 +193,7 @@ func fig35() (Table, error) {
 
 // table32 extends the catalog with the composed Scale-Out chips and their
 // pod structure at both nodes (Table 3.2).
-func table32() (Table, error) {
+func table32(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	t := Table{
 		ID:    "table3.2",

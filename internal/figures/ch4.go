@@ -1,8 +1,10 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
+	"scaleout/internal/exp"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/stats"
@@ -12,9 +14,9 @@ import (
 
 func init() {
 	register("fig4.3", fig43)
-	register("fig4.6", func() (Table, error) { return nocPerf("fig4.6", 0) })
+	register("fig4.6", func(ctx context.Context) (Table, error) { return nocPerf(ctx, "fig4.6", 0) })
 	register("fig4.7", fig47)
-	register("fig4.8", func() (Table, error) { return nocPerf("fig4.8", nocOutAreaBudget()) })
+	register("fig4.8", func(ctx context.Context) (Table, error) { return nocPerf(ctx, "fig4.8", nocOutAreaBudget()) })
 	register("power4.4", power44)
 }
 
@@ -26,11 +28,13 @@ const (
 	ch4Channels = 4
 )
 
-// ch4Sim runs one workload on the 64-core pod with the given NoC. For
-// workloads that scale only to 16 or 32 cores, the active cores occupy
-// the pod centre (mesh, flattened butterfly) or the rows adjacent to the
-// LLC (NOC-Out), per Section 4.3.3.
-func ch4Sim(w workload.Workload, kind noc.Kind, linkBits int) (sim.Result, error) {
+// ch4Cfg declares one workload's run on the 64-core pod with the given
+// NoC. For workloads that scale only to 16 or 32 cores, the active cores
+// occupy the pod centre (mesh, flattened butterfly) or the rows adjacent
+// to the LLC (NOC-Out), per Section 4.3.3. Several Chapter-4 figures
+// share these exact configurations, so the engine simulates each only
+// once per process.
+func ch4Cfg(w workload.Workload, kind noc.Kind, linkBits int) sim.Config {
 	active := ch4Cores
 	if w.ScaleLimit < active {
 		active = w.ScaleLimit
@@ -49,29 +53,34 @@ func ch4Sim(w workload.Workload, kind noc.Kind, linkBits int) (sim.Result, error
 	if linkBits > 0 {
 		net = net.WithLinkBits(linkBits)
 	}
-	return sim.Run(sim.Config{
+	return sim.Config{
 		Workload: w, CoreType: tech.OoO, Cores: active, LLCMB: ch4LLCMB,
 		Net: net, MemChannels: ch4Channels,
-	})
+	}
 }
 
 // fig43 measures the percentage of LLC accesses that trigger a snoop
 // message (Figure 4.3): negligible coherence activity, ~2.7% on average.
-func fig43() (Table, error) {
+func fig43(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "fig4.3",
 		Title:   "% of LLC accesses causing a snoop message to be sent to a core",
 		Note:    "64-core pod simulation with a real coherence directory",
 		Headers: []string{"Workload", "Snoop %"},
 	}
+	ws := workload.Suite()
+	cfgs := make([]sim.Config, len(ws))
+	for i, w := range ws {
+		cfgs[i] = ch4Cfg(w, noc.Mesh, 0)
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
 	var vals []float64
-	for _, w := range workload.Suite() {
-		r, err := ch4Sim(w, noc.Mesh, 0)
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(w.Name, f1(r.SnoopRatePct))
-		vals = append(vals, r.SnoopRatePct)
+	for i, w := range ws {
+		t.AddRow(w.Name, f1(rs[i].SnoopRatePct))
+		vals = append(vals, rs[i].SnoopRatePct)
 	}
 	mean, err := stats.Mean(vals)
 	if err != nil {
@@ -84,8 +93,9 @@ func fig43() (Table, error) {
 // nocPerf renders Figures 4.6 (full-width links) and 4.8 (links narrowed
 // until every NoC fits NOC-Out's area): per-workload performance of the
 // mesh, flattened butterfly, and NOC-Out organizations, normalized to the
-// mesh, with the geometric mean.
-func nocPerf(id string, areaBudget float64) (Table, error) {
+// mesh, with the geometric mean. All (workload x NoC) points run as one
+// engine batch.
+func nocPerf(ctx context.Context, id string, areaBudget float64) (Table, error) {
 	t := Table{
 		ID:      id,
 		Title:   "System performance normalized to the mesh-based design",
@@ -95,19 +105,26 @@ func nocPerf(id string, areaBudget float64) (Table, error) {
 		t.Note = fmt.Sprintf("all NoCs constrained to %.1fmm2", areaBudget)
 	}
 	kinds := []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut}
-	ratios := map[noc.Kind][]float64{}
-	for _, w := range workload.Suite() {
-		var perf [3]float64
-		for i, kind := range kinds {
+	ws := workload.Suite()
+	var cfgs []sim.Config
+	for _, w := range ws {
+		for _, kind := range kinds {
 			bits := 0
 			if areaBudget > 0 && kind != noc.NOCOut {
 				bits = noc.New(kind, ch4Cores).LinkBitsForArea(areaBudget)
 			}
-			r, err := ch4Sim(w, kind, bits)
-			if err != nil {
-				return t, err
-			}
-			perf[i] = r.AppIPC
+			cfgs = append(cfgs, ch4Cfg(w, kind, bits))
+		}
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	ratios := map[noc.Kind][]float64{}
+	for i, w := range ws {
+		perf := [3]float64{}
+		for k := range kinds {
+			perf[k] = rs[i*len(kinds)+k].AppIPC
 		}
 		t.AddRow(w.Name, "1.00", f2(perf[1]/perf[0]), f2(perf[2]/perf[0]))
 		ratios[noc.FlattenedButterfly] = append(ratios[noc.FlattenedButterfly], perf[1]/perf[0])
@@ -133,7 +150,7 @@ func nocOutAreaBudget() float64 {
 
 // fig47 breaks the NoC area of the three organizations into links,
 // buffers, and crossbars (Figure 4.7).
-func fig47() (Table, error) {
+func fig47(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "fig4.7",
 		Title:   "NOC area breakdown (mm2), 64-core pod, 128-bit links",
@@ -148,26 +165,34 @@ func fig47() (Table, error) {
 
 // power44 evaluates NoC power at the measured LLC access rate of the
 // 64-core pod (Section 4.4.4): below 2W everywhere, link-dominated,
-// NOC-Out most efficient.
-func power44() (Table, error) {
+// NOC-Out most efficient. Its simulation points are the same as Figure
+// 4.6's, so with a shared engine they cost nothing extra.
+func power44(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "power4.4",
 		Title:   "NOC power at scale-out load (W), 64-core pod",
 		Headers: []string{"NoC", "Links", "Routers", "Total"},
 	}
-	for _, kind := range []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut} {
+	ws := workload.Suite()
+	kinds := []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut}
+	var cfgs []sim.Config
+	for _, kind := range kinds {
+		for _, w := range ws {
+			cfgs = append(cfgs, ch4Cfg(w, kind, 0))
+		}
+	}
+	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	for k, kind := range kinds {
 		// Average LLC access rate across workloads from simulation.
 		var aps float64
-		n := 0
-		for _, w := range workload.Suite() {
-			r, err := ch4Sim(w, kind, 0)
-			if err != nil {
-				return t, err
-			}
+		for i := range ws {
+			r := rs[k*len(ws)+i]
 			aps += float64(r.LLCAccesses) / float64(r.Cycles) * tech.ClockGHz * 1e9
-			n++
 		}
-		aps /= float64(n)
+		aps /= float64(len(ws))
 		p := noc.New(kind, ch4Cores).PowerW(aps)
 		t.AddRow(kind.String(), f2(p.LinksW), f2(p.RoutersW), f2(p.Total()))
 	}

@@ -1,9 +1,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"scaleout/internal/chip"
+	"scaleout/internal/exp"
 	"scaleout/internal/tco"
 	"scaleout/internal/workload"
 )
@@ -12,14 +14,14 @@ func init() {
 	register("table5.1", table51)
 	register("fig5.1", fig51)
 	register("fig5.2", fig52)
-	register("fig5.3", func() (Table, error) { return tcoSweep("fig5.3", true) })
-	register("fig5.4", func() (Table, error) { return tcoSweep("fig5.4", false) })
+	register("fig5.3", func(ctx context.Context) (Table, error) { return tcoSweep(ctx, "fig5.3", true) })
+	register("fig5.4", func(ctx context.Context) (Table, error) { return tcoSweep(ctx, "fig5.4", false) })
 	register("fig5.5", fig55)
 }
 
 // table51 renders the server-chip characteristics of Table 5.1, with
 // prices from the volume model (conventional at its market price).
-func table51() (Table, error) {
+func table51(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	t := Table{
 		ID:    "table5.1",
@@ -35,26 +37,24 @@ func table51() (Table, error) {
 }
 
 // composeAll builds a 64GB-per-1U datacenter around every TCO-catalog
-// chip.
-func composeAll(memGB int) ([]chip.Spec, []tco.Datacenter, error) {
+// chip, one engine point per chip.
+func composeAll(ctx context.Context, memGB int) ([]chip.Spec, []tco.Datacenter, error) {
 	ws := workload.Suite()
 	p := tco.NewParams()
 	specs := chip.TCOCatalog(ws)
-	dcs := make([]tco.Datacenter, len(specs))
-	for i, s := range specs {
-		dc, err := tco.Compose(p, s, memGB, ws)
-		if err != nil {
-			return nil, nil, err
-		}
-		dcs[i] = dc
+	dcs, err := exp.Map(ctx, exp.FromContext(ctx), specs, func(s chip.Spec) (tco.Datacenter, error) {
+		return tco.Compose(p, s, memGB, ws)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return specs, dcs, nil
 }
 
 // fig51 reports datacenter performance normalized to the conventional
 // design (Figure 5.1): 1pod ~4.4x, in-order Scale-Out the highest.
-func fig51() (Table, error) {
-	specs, dcs, err := composeAll(64)
+func fig51(ctx context.Context) (Table, error) {
+	specs, dcs, err := composeAll(ctx, 64)
 	if err != nil {
 		return Table{}, err
 	}
@@ -74,8 +74,8 @@ func fig51() (Table, error) {
 // fig52 reports datacenter TCO normalized to the conventional design
 // (Figure 5.2): differences are muted because processors are only part of
 // the acquisition and power budget.
-func fig52() (Table, error) {
-	specs, dcs, err := composeAll(64)
+func fig52(ctx context.Context) (Table, error) {
+	specs, dcs, err := composeAll(ctx, 64)
 	if err != nil {
 		return Table{}, err
 	}
@@ -95,8 +95,9 @@ func fig52() (Table, error) {
 }
 
 // tcoSweep renders Figures 5.3 (performance/TCO) and 5.4 (performance/
-// Watt) across per-server memory capacities of 32, 64, and 128GB.
-func tcoSweep(id string, perTCO bool) (Table, error) {
+// Watt) across per-server memory capacities of 32, 64, and 128GB. Each
+// chip's row is one engine point.
+func tcoSweep(ctx context.Context, id string, perTCO bool) (Table, error) {
 	title := "Datacenter performance/TCO"
 	if !perTCO {
 		title = "Datacenter performance/Watt"
@@ -109,28 +110,33 @@ func tcoSweep(id string, perTCO bool) (Table, error) {
 	}
 	ws := workload.Suite()
 	p := tco.NewParams()
-	for _, s := range chip.TCOCatalog(ws) {
-		row := []string{s.Name()}
-		for _, mem := range []int{32, 64, 128} {
-			dc, err := tco.Compose(p, s, mem, ws)
-			if err != nil {
-				return t, err
+	rows, err := exp.Map(ctx, exp.FromContext(ctx), chip.TCOCatalog(ws),
+		func(s chip.Spec) ([]string, error) {
+			row := []string{s.Name()}
+			for _, mem := range []int{32, 64, 128} {
+				dc, err := tco.Compose(p, s, mem, ws)
+				if err != nil {
+					return nil, err
+				}
+				if perTCO {
+					row = append(row, f3(dc.PerfPerTCO()))
+				} else {
+					row = append(row, f3(dc.PerfPerWatt()))
+				}
 			}
-			if perTCO {
-				row = append(row, f3(dc.PerfPerTCO()))
-			} else {
-				row = append(row, f3(dc.PerfPerWatt()))
-			}
-		}
-		t.AddRow(row...)
+			return row, nil
+		})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // fig55 sweeps the processor price and reports performance/TCO (Figure
 // 5.5): large dies are less price-sensitive because fewer chips populate
 // each power-limited server.
-func fig55() (Table, error) {
+func fig55(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	p := tco.NewParams()
 	prices := []float64{100, 200, 320, 370, 400, 600, 800}
@@ -140,22 +146,27 @@ func fig55() (Table, error) {
 		Note:    "marked column: the design's modeled price at 200K volume",
 		Headers: append([]string{"Processor"}, priceHeaders(prices)...),
 	}
-	for _, s := range chip.TCOCatalog(ws) {
-		dc, err := tco.Compose(p, s, 64, ws)
-		if err != nil {
-			return t, err
-		}
-		modeled := tco.ChipPrice(s)
-		row := []string{s.Name()}
-		for _, price := range prices {
-			cell := f3(dc.WithChipPrice(price).PerfPerTCO())
-			if price == roundTo(modeled, prices) {
-				cell += "*"
+	rows, err := exp.Map(ctx, exp.FromContext(ctx), chip.TCOCatalog(ws),
+		func(s chip.Spec) ([]string, error) {
+			dc, err := tco.Compose(p, s, 64, ws)
+			if err != nil {
+				return nil, err
 			}
-			row = append(row, cell)
-		}
-		t.AddRow(row...)
+			modeled := tco.ChipPrice(s)
+			row := []string{s.Name()}
+			for _, price := range prices {
+				cell := f3(dc.WithChipPrice(price).PerfPerTCO())
+				if price == roundTo(modeled, prices) {
+					cell += "*"
+				}
+				row = append(row, cell)
+			}
+			return row, nil
+		})
+	if err != nil {
+		return t, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -1,9 +1,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"scaleout/internal/core"
+	"scaleout/internal/exp"
 	"scaleout/internal/noc"
 	"scaleout/internal/stack3d"
 	"scaleout/internal/tech"
@@ -11,18 +13,19 @@ import (
 )
 
 func init() {
-	register("fig6.4", func() (Table, error) { return pd3DSweep("fig6.4", tech.OoO) })
-	register("fig6.5", func() (Table, error) { return strategies("fig6.5", tech.OoO, []int{1, 2, 4}) })
-	register("fig6.6", func() (Table, error) { return pd3DSweep("fig6.6", tech.InOrder) })
-	register("fig6.7", func() (Table, error) { return strategies("fig6.7", tech.InOrder, []int{1, 2, 3}) })
-	register("table6.2", table62)
+	register("fig6.4", func(ctx context.Context) (Table, error) { return pd3DSweep(ctx, "fig6.4", tech.OoO) })
+	register("fig6.5", func(ctx context.Context) (Table, error) { return strategies("fig6.5", tech.OoO, []int{1, 2, 4}) })
+	register("fig6.6", func(ctx context.Context) (Table, error) { return pd3DSweep(ctx, "fig6.6", tech.InOrder) })
+	register("fig6.7", func(ctx context.Context) (Table, error) { return strategies("fig6.7", tech.InOrder, []int{1, 2, 3}) })
+	register("table6.2", func(ctx context.Context) (Table, error) { return table62() })
 }
 
 // pd3DSweep renders Figures 6.4/6.6: pod performance density across core
 // counts and LLC capacities (2-32MB) for 1, 2, and 4 stacked logic dies.
 // Stacking folds the pod vertically, shortening horizontal wires, so PD
-// rises with die count at every configuration.
-func pd3DSweep(id string, coreType tech.CoreType) (Table, error) {
+// rises with die count at every configuration. One engine point
+// evaluates one (LLC, cores) row across the three die counts.
+func pd3DSweep(ctx context.Context, id string, coreType tech.CoreType) (Table, error) {
 	ws := workload.Suite()
 	n := tech.N40For3D()
 	t := Table{
@@ -31,18 +34,30 @@ func pd3DSweep(id string, coreType tech.CoreType) (Table, error) {
 		Note:    "pod PD at 1/2/4 dies; fixed-pod folding",
 		Headers: []string{"LLC(MB)", "Cores", "d=1", "d=2", "d=4"},
 	}
+	type rowSpec struct {
+		llc   float64
+		cores int
+	}
+	var specs []rowSpec
 	for _, llc := range []float64{2, 4, 8, 16, 32} {
 		for c := 4; c <= 64; c *= 2 {
-			base := core.Pod{Core: coreType, Cores: c, LLCMB: llc, Net: noc.Crossbar}
-			row := []string{fg(llc), itoa(c)}
-			for _, dies := range []int{1, 2, 4} {
-				// Per-pod density, independent of chip-level replication.
-				pod := stack3d.PodAt(base, n, dies, stack3d.FixedPod)
-				row = append(row, f3(pod.IPC(ws)/pod.Area(n)))
-			}
-			t.AddRow(row...)
+			specs = append(specs, rowSpec{llc, c})
 		}
 	}
+	rows, err := exp.Map(ctx, exp.FromContext(ctx), specs, func(s rowSpec) ([]string, error) {
+		base := core.Pod{Core: coreType, Cores: s.cores, LLCMB: s.llc, Net: noc.Crossbar}
+		row := []string{fg(s.llc), itoa(s.cores)}
+		for _, dies := range []int{1, 2, 4} {
+			// Per-pod density, independent of chip-level replication.
+			pod := stack3d.PodAt(base, n, dies, stack3d.FixedPod)
+			row = append(row, f3(pod.IPC(ws)/pod.Area(n)))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 

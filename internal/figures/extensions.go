@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"scaleout/internal/core"
 	"scaleout/internal/dvfs"
+	"scaleout/internal/exp"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
@@ -25,7 +27,7 @@ func init() {
 // 40nm, and marks the Pareto frontier over (OoO capability, total
 // throughput). Pods make heterogeneity free: there is no shared
 // infrastructure to reconcile between the two halves.
-func extHetero() (Table, error) {
+func extHetero(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	n := tech.N40()
 	podO := core.Pod{Core: tech.OoO, Cores: 16, LLCMB: 4, Net: noc.Crossbar}
@@ -59,7 +61,7 @@ func extHetero() (Table, error) {
 // memory-bound scale-out workloads gain little beyond nominal frequency
 // while power grows with f*V^2 — the energy-efficiency sweet spot sits
 // below 2GHz.
-func extDVFS() (Table, error) {
+func extDVFS(ctx context.Context) (Table, error) {
 	ws := workload.Suite()
 	n := tech.N40()
 	pod := core.Pod{Core: tech.OoO, Cores: 16, LLCMB: 4, Net: noc.Crossbar}
@@ -90,25 +92,30 @@ func extDVFS() (Table, error) {
 // extStructural cross-checks the statistical calibration against the
 // structural simulator: real L1/LLC tag arrays replaying synthetic
 // reference streams. Emergent L1 miss rates should track the workload
-// models' APKI.
-func extStructural() (Table, error) {
+// models' APKI. The whole suite runs as one engine batch.
+func extStructural(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "ext.structural",
 		Title:   "Structural simulation: emergent vs calibrated cache behaviour",
 		Note:    "16 OoO cores, 4MB LLC; [targets] from the workload models",
 		Headers: []string{"Workload", "L1I MPKI", "[tgt]", "L1D MPKI", "[tgt]", "LLC miss%", "AppIPC"},
 	}
-	for _, w := range workload.Suite() {
-		r, err := sim.RunStructural(sim.StructuralConfig{
+	ws := workload.Suite()
+	cfgs := make([]sim.StructuralConfig, len(ws))
+	for i, w := range ws {
+		cfgs[i] = sim.StructuralConfig{
 			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4,
-		})
-		if err != nil {
-			return t, err
 		}
+	}
+	rs, err := exp.FromContext(ctx).Structurals(ctx, cfgs)
+	if err != nil {
+		return t, err
+	}
+	for i, w := range ws {
 		apki := w.EffectiveAPKI(tech.OoO)
 		iT := apki * w.IFetchFrac
-		t.AddRow(w.Name, f1(r.L1IMPKI), f1(iT), f1(r.L1DMPKI), f1(apki-iT),
-			f1(r.LLCMissPct), f2(r.AppIPC))
+		t.AddRow(w.Name, f1(rs[i].L1IMPKI), f1(iT), f1(rs[i].L1DMPKI), f1(apki-iT),
+			f1(rs[i].LLCMissPct), f2(rs[i].AppIPC))
 	}
 	return t, nil
 }
@@ -117,7 +124,7 @@ func extStructural() (Table, error) {
 // mechanisms: concentration (two cores per tree node) and express links
 // (bypassing alternate tree nodes). Both keep latency near the 64-core
 // point as pods grow.
-func extNOCOutScale() (Table, error) {
+func extNOCOutScale(ctx context.Context) (Table, error) {
 	t := Table{
 		ID:      "ext.nocout-scale",
 		Title:   "NOC-Out scalability: latency and area vs core count (Section 4.5.1)",

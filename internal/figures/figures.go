@@ -7,9 +7,13 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+
+	"scaleout/internal/exp"
 )
 
 // Table is a rendered experiment result: a title, column headers, and
@@ -82,8 +86,13 @@ func (t Table) CSV() string {
 	return b.String()
 }
 
-// Generator produces one experiment's table.
-type Generator func() (Table, error)
+// Generator produces one experiment's table. Generators declare their
+// sweep points and hand them to the engine carried by ctx (see
+// internal/exp): the engine fans points out across its worker pool and
+// memoizes them by canonical fingerprint, so the table a generator
+// assembles is byte-identical whether the engine runs with one worker
+// or many, and configurations shared between figures are simulated once.
+type Generator func(ctx context.Context) (Table, error)
 
 // registry maps experiment IDs to generators.
 var registry = map[string]Generator{}
@@ -105,26 +114,57 @@ func IDs() []string {
 	return out
 }
 
-// Run generates the experiment with the given ID.
+// Run generates the experiment with the given ID on the default engine.
 func Run(id string) (Table, error) {
+	return RunContext(context.Background(), id)
+}
+
+// RunContext generates the experiment with the given ID, running its
+// sweep points on the engine carried by ctx.
+func RunContext(ctx context.Context, id string) (Table, error) {
 	g, ok := registry[id]
 	if !ok {
 		return Table{}, fmt.Errorf("figures: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return g()
+	return g(ctx)
 }
 
-// RunAll generates every experiment in ID order.
+// RunAll generates every experiment in ID order on the default engine.
 func RunAll() ([]Table, error) {
-	var out []Table
-	for _, id := range IDs() {
-		t, err := Run(id)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", id, err)
-		}
-		out = append(out, t)
+	return RunAllContext(context.Background())
+}
+
+// RunAllContext generates every experiment concurrently and returns the
+// tables in ID order. Each generator assembles its table independently
+// and deterministically, so concurrency never changes the output; the
+// simulation work underneath is bounded by the context engine's worker
+// pool. The first failure cancels the remaining experiments.
+func RunAllContext(ctx context.Context) ([]Table, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ids := IDs()
+	tables := make([]Table, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			tables[i], errs[i] = RunContext(ctx, id)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, id)
 	}
-	return out, nil
+	wg.Wait()
+	// Report a genuine failure over a cancellation it caused; both in
+	// ID order for determinism.
+	if err := exp.FirstError(errs, func(i int, err error) error {
+		return fmt.Errorf("%s: %w", ids[i], err)
+	}); err != nil {
+		return nil, err
+	}
+	return tables, nil
 }
 
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
@@ -133,10 +173,3 @@ func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
 func f0(x float64) string { return fmt.Sprintf("%.0f", x) }
 func itoa(x int) string   { return fmt.Sprintf("%d", x) }
 func fg(x float64) string { return fmt.Sprintf("%g", x) }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -163,10 +163,3 @@ func (c Config) LinkBitsForArea(budget float64) int {
 	}
 	return 8
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

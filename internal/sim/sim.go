@@ -103,6 +103,16 @@ func (c *Config) applyDefaults() error {
 	return nil
 }
 
+// Canonical returns the configuration with every default applied — the
+// form under which two Configs describe the same simulation. Experiment
+// engines use it to fingerprint sweep points, so a Config with an
+// explicit default (say, Seed 1) deduplicates against one that left the
+// field zero. It reports an error for invalid configurations.
+func (c Config) Canonical() (Config, error) {
+	err := c.applyDefaults()
+	return c, err
+}
+
 // banksFor mirrors the analytic model's banking rule (Table 3.1): UCA
 // designs have one bank per four cores; NUCA fabrics one bank per tile,
 // except NOC-Out, which concentrates two banks in each of its LLC tiles.
@@ -495,11 +505,4 @@ func minInt64(xs []int64) int64 {
 		}
 	}
 	return m
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

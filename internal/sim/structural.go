@@ -74,6 +74,13 @@ func (c *StructuralConfig) applyDefaults() error {
 	return nil
 }
 
+// Canonical returns the configuration with every default applied, for
+// canonical fingerprinting by experiment engines (see Config.Canonical).
+func (c StructuralConfig) Canonical() (StructuralConfig, error) {
+	err := c.applyDefaults()
+	return c, err
+}
+
 // structCore is the per-core structural state.
 type structCore struct {
 	coreState
