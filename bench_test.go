@@ -95,7 +95,10 @@ func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
 
 // Substrate microbenchmarks.
 
-func BenchmarkSimulator64CorePod(b *testing.B) {
+// bench64CorePod measures one kernel's throughput on the
+// high-core-count, high-stall pod the wakeup schedule targets.
+func bench64CorePod(b *testing.B, run func(sim.Config) (sim.Result, error)) {
+	b.Helper()
 	ws := workload.Suite()
 	cfg := sim.Config{
 		Workload: ws[0], CoreType: tech.OoO, Cores: 64, LLCMB: 8,
@@ -103,11 +106,21 @@ func BenchmarkSimulator64CorePod(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(cfg); err != nil {
+		if _, err := run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkSimulator64CorePod(b *testing.B) { bench64CorePod(b, sim.Run) }
+
+// Kernel trajectory: the event-scheduled kernel vs the lock-step
+// reference. The Event/Lockstep ratio is the kernel speedup recorded in
+// BENCH_kernel.json (`soproc -bench`); both produce byte-identical
+// results (TestKernelEquivalence).
+
+func BenchmarkKernelEvent64Core(b *testing.B)    { bench64CorePod(b, sim.Run) }
+func BenchmarkKernelLockstep64Core(b *testing.B) { bench64CorePod(b, sim.RunLockstep) }
 
 func BenchmarkAnalyticChipIPC(b *testing.B) {
 	ws := workload.Suite()

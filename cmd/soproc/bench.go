@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/figures"
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// The kernel benchmark harness behind `soproc -bench`: it times
+// representative sweep points — and the full figure harness — on the
+// event-scheduled kernel and on the lock-step reference kernel, prints
+// the comparison, and records it as JSON (BENCH_kernel.json). The file
+// seeds the repo's performance trajectory: CI runs a one-iteration
+// smoke of the same harness, and EXPERIMENTS.md quotes its numbers.
+
+// benchPoint is one measured configuration.
+type benchPoint struct {
+	Name       string  `json:"name"`
+	EventNs    int64   `json:"event_ns_per_point"`
+	LockstepNs int64   `json:"lockstep_ns_per_point"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchReport is the BENCH_kernel.json schema.
+type benchReport struct {
+	Harness    string       `json:"harness"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Iterations int          `json:"iterations"`
+	Points     []benchPoint `json:"points"`
+}
+
+// timeRuns reports the mean wall time of iters calls to f after one
+// unmeasured warmup call.
+func timeRuns(iters int, f func() error) (time.Duration, error) {
+	if err := f(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(iters), nil
+}
+
+// runBench measures every benchmark point on both kernels and writes
+// the report to path.
+func runBench(path string, iters, workers int) error {
+	if iters < 1 {
+		iters = 1
+	}
+	ws := workload.Suite()
+	simPoints := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		// The pod every chapter sweeps over.
+		{"pod16-crossbar", sim.Config{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4,
+			Net: noc.New(noc.Crossbar, 16)}},
+		// The high-core-count, high-stall point the wakeup schedule
+		// targets (also BenchmarkKernelEvent64Core).
+		{"pod64-mesh", sim.Config{Workload: ws[0], CoreType: tech.OoO, Cores: 64, LLCMB: 8,
+			Net: noc.New(noc.Mesh, 64), MemChannels: 4}},
+		// NOC-Out's halved bank accept rate produces extra queueing.
+		{"pod64-nocout", sim.Config{Workload: ws[0], CoreType: tech.OoO, Cores: 64, LLCMB: 8,
+			Net: noc.New(noc.NOCOut, 64)}},
+		// Blocking loads: in-order cores spend most cycles stalled.
+		{"pod32-inorder-mesh", sim.Config{Workload: ws[0], CoreType: tech.InOrder, Cores: 32, LLCMB: 2,
+			Net: noc.New(noc.Mesh, 32)}},
+	}
+
+	report := benchReport{
+		Harness:    "soproc -bench",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Iterations: iters,
+	}
+	measure := func(name string, f func() error) (benchPoint, error) {
+		sim.UseLockstepKernel(false)
+		event, err := timeRuns(iters, f)
+		if err != nil {
+			return benchPoint{}, fmt.Errorf("%s (event): %w", name, err)
+		}
+		sim.UseLockstepKernel(true)
+		lockstep, err := timeRuns(iters, f)
+		sim.UseLockstepKernel(false)
+		if err != nil {
+			return benchPoint{}, fmt.Errorf("%s (lockstep): %w", name, err)
+		}
+		p := benchPoint{
+			Name:       name,
+			EventNs:    event.Nanoseconds(),
+			LockstepNs: lockstep.Nanoseconds(),
+			Speedup:    float64(lockstep) / float64(event),
+		}
+		fmt.Printf("%-20s event %12s   lockstep %12s   speedup %.2fx\n",
+			p.Name, event.Round(time.Microsecond), lockstep.Round(time.Microsecond), p.Speedup)
+		return p, nil
+	}
+
+	for _, pt := range simPoints {
+		cfg := pt.cfg
+		p, err := measure(pt.name, func() error {
+			_, err := sim.Run(cfg)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		report.Points = append(report.Points, p)
+	}
+
+	// One structural point: the emergent-cache mode has its own hot path
+	// (trace generation, real tag arrays).
+	scfg := sim.StructuralConfig{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4}
+	p, err := measure("structural16", func() error {
+		_, err := sim.RunStructural(scfg)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	report.Points = append(report.Points, p)
+
+	// The whole harness: every figure on a fresh engine per run, so the
+	// number includes real simulation work, not memo hits.
+	p, err = measure("runall", func() error {
+		ctx := exp.WithEngine(context.Background(), exp.New(workers))
+		_, err := figures.RunAllContext(ctx)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	report.Points = append(report.Points, p)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -8,11 +8,18 @@
 //	soproc -all                  run every experiment
 //	soproc -all -parallel 8      ... on an 8-worker engine
 //	soproc -all -timeout 2m      ... aborting after two minutes
+//	soproc -bench                time the kernels, write BENCH_kernel.json
 //
 // Experiments run on the parallel, memoizing engine (internal/exp):
 // sweep points fan out across -parallel workers (default GOMAXPROCS)
 // and identical configurations shared between figures are simulated
-// once. Output is deterministic — independent of the worker count.
+// once. Output is deterministic — independent of the worker count and
+// of which simulation kernel runs the points.
+//
+// -bench times representative sweep points and the full harness on the
+// event-scheduled kernel and the lock-step reference kernel and records
+// ns/point plus speedups in BENCH_kernel.json (see -bench-out,
+// -bench-iters) — the repo's kernel performance trajectory.
 package main
 
 import (
@@ -34,7 +41,17 @@ func main() {
 	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort if regeneration exceeds this duration (0 = none)")
 	verbose := flag.Bool("v", false, "report engine statistics on stderr")
+	bench := flag.Bool("bench", false, "benchmark the simulation kernels and write a JSON report")
+	benchOut := flag.String("bench-out", "BENCH_kernel.json", "benchmark report path (with -bench)")
+	benchIters := flag.Int("bench-iters", 5, "measured iterations per benchmark point (with -bench)")
 	flag.Parse()
+
+	if *bench {
+		if err := runBench(*benchOut, *benchIters, *parallel); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	eng := exp.New(*parallel)
 	ctx := exp.WithEngine(context.Background(), eng)

@@ -65,8 +65,8 @@ func main() {
 			Net: noc.New(noc.Crossbar, 16), DisableSWScaling: true,
 		}
 	}
-	eng := exp.Default()
-	rs, err := eng.Sims(context.Background(), cfgs)
+	ctx := exp.WithEngine(context.Background(), exp.Default())
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -173,6 +173,17 @@ func (d *Directory) SnoopRate() float64 {
 // TrackedBlocks returns the number of blocks with at least one sharer.
 func (d *Directory) TrackedBlocks() int { return len(d.entries) }
 
+// ResetStats zeroes every stat counter, leaving the coherence state
+// (tracked blocks, sharers, owners) intact — what a simulator does at
+// its warmup/measure boundary.
+func (d *Directory) ResetStats() {
+	d.Lookups = 0
+	d.SnoopsSent = 0
+	d.SnoopAccesses = 0
+	d.Invalidation = 0
+	d.Forwards = 0
+}
+
 func (d *Directory) entry(block uint64) *dirEntry {
 	e, ok := d.entries[block]
 	if !ok {

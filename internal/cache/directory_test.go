@@ -208,3 +208,31 @@ func TestCoherenceStateString(t *testing.T) {
 		t.Fatal("unknown state unnamed")
 	}
 }
+
+// ResetStats zeroes every counter but keeps the coherence state — the
+// simulator's warmup/measure boundary must not forget who shares what.
+func TestDirectoryResetStats(t *testing.T) {
+	d, err := NewDirectory(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Read(0, 1)
+	d.Write(1, 1) // invalidation
+	d.Read(2, 1)  // forward from the modified owner
+	if d.Lookups == 0 || d.SnoopsSent == 0 || d.SnoopAccesses == 0 ||
+		d.Invalidation == 0 || d.Forwards == 0 {
+		t.Fatalf("scenario did not exercise every counter: %+v", *d)
+	}
+	tracked, state := d.TrackedBlocks(), d.State(1)
+	d.ResetStats()
+	if d.Lookups != 0 || d.SnoopsSent != 0 || d.SnoopAccesses != 0 ||
+		d.Invalidation != 0 || d.Forwards != 0 {
+		t.Fatalf("counters survived ResetStats: %+v", *d)
+	}
+	if d.TrackedBlocks() != tracked || d.State(1) != state {
+		t.Fatal("ResetStats disturbed coherence state")
+	}
+	if d.SnoopRate() != 0 {
+		t.Fatal("snoop rate nonzero after reset")
+	}
+}

@@ -78,16 +78,18 @@ func (c *SetAssoc) setOf(block uint64) int { return int(block & uint64(c.sets-1)
 // tagOf stores block+1 so that tag 0 can mean "invalid".
 func tagOf(block uint64) uint64 { return block + 1 }
 
-// touch promotes way w of set s to most-recently-used.
+// touch promotes way w of set s to most-recently-used. The set is
+// sliced up front so the recency loop — the hottest loop in the
+// structural simulator — runs without bounds checks.
 func (c *SetAssoc) touch(s, w int) {
-	base := s * c.ways
-	old := c.lru[base+w]
-	for i := 0; i < c.ways; i++ {
-		if c.lru[base+i] < old {
-			c.lru[base+i]++
+	lru := c.lru[s*c.ways : s*c.ways+c.ways]
+	old := lru[w]
+	for i, r := range lru {
+		if r < old {
+			lru[i] = r + 1
 		}
 	}
-	c.lru[base+w] = 0
+	lru[w] = 0
 }
 
 // Lookup probes the cache. If the block is present it is promoted to MRU
@@ -96,8 +98,8 @@ func (c *SetAssoc) Lookup(block uint64) (hit bool) {
 	s := c.setOf(block)
 	base := s * c.ways
 	t := tagOf(block)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == t {
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == t {
 			c.touch(s, w)
 			return true
 		}
@@ -131,9 +133,10 @@ func (c *SetAssoc) Insert(block uint64, dirty bool) (ev Eviction, evicted bool) 
 	s := c.setOf(block)
 	base := s * c.ways
 	t := tagOf(block)
+	tags := c.tags[base : base+c.ways]
 	// Full match scan first: the block may be resident in any way.
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == t {
+	for w, tag := range tags {
+		if tag == t {
 			c.touch(s, w)
 			if dirty {
 				c.dirty[base+w] = true
@@ -142,13 +145,14 @@ func (c *SetAssoc) Insert(block uint64, dirty bool) (ev Eviction, evicted bool) 
 		}
 	}
 	// Victim selection: an invalid way if one exists, else true LRU.
+	lru := c.lru[base : base+c.ways]
 	victim := 0
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == 0 {
+	for w, tag := range tags {
+		if tag == 0 {
 			victim = w
 			break
 		}
-		if c.lru[base+w] > c.lru[base+victim] {
+		if lru[w] > lru[victim] {
 			victim = w
 		}
 	}

@@ -1,0 +1,218 @@
+// Package engine provides the worker pool and memo that back the
+// experiment layer (internal/exp): a fixed-size pool that bounds
+// concurrent computations, context cancellation, and a process-wide
+// memo keyed by canonical configuration fingerprints so identical
+// points are computed exactly once.
+//
+// It lives below the simulator so that packages the experiment layer
+// itself drives can share the pool without an import cycle —
+// sim.RunSampled fans its seed samples out across the same workers that
+// run figure sweeps. internal/exp re-exports the user-facing surface
+// (Engine, WithEngine, Fingerprint, ...) and layers the typed Point
+// API on top of Do.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is a parallel, memoizing work runner. The zero value is not
+// usable; construct with New. An Engine is safe for concurrent use by
+// any number of goroutines; its memo is shared across all work run on
+// it for the life of the process.
+type Engine struct {
+	sem  chan struct{} // one slot per worker
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// memoEntry is the memo slot for one key. done is closed once val/err
+// are final, so concurrent requests for an in-flight key wait instead of
+// recomputing.
+type memoEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns an engine with the given worker-pool size; workers <= 0
+// selects GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		sem:  make(chan struct{}, workers),
+		memo: make(map[string]*memoEntry),
+	}
+}
+
+// Workers reports the worker-pool size.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Stats reports memo hits (work served from cache, including waits on
+// in-flight duplicates) and misses (work actually computed).
+func (e *Engine) Stats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+var defaultEngine = New(0)
+
+// Default returns the process-wide engine: GOMAXPROCS workers and a
+// memo shared by everything that does not install its own engine.
+func Default() *Engine { return defaultEngine }
+
+type ctxKey struct{}
+
+// WithEngine returns a context carrying e; experiment code retrieves it
+// with FromContext. This is how a CLI's -parallel flag and
+// serial-baseline tests select a pool size without threading an Engine
+// through every call signature.
+func WithEngine(ctx context.Context, e *Engine) context.Context {
+	return context.WithValue(ctx, ctxKey{}, e)
+}
+
+// FromContext returns the context's engine, or Default if none is set.
+func FromContext(ctx context.Context) *Engine {
+	if e, ok := ctx.Value(ctxKey{}).(*Engine); ok && e != nil {
+		return e
+	}
+	return Default()
+}
+
+// Fingerprint canonically serializes a configuration value. fmt prints
+// map fields in sorted key order, so two equal values always produce the
+// same string regardless of construction order.
+func Fingerprint(v any) string { return fmt.Sprintf("%#v", v) }
+
+// Do runs compute under a worker slot, memoized by key. Two calls with
+// equal non-empty keys must describe identical computations; the engine
+// computes each distinct key at most once per process and serves later
+// requests from the memo (in-flight duplicates wait on the first
+// computation). An empty key disables memoization for the call.
+//
+// compute must not call back into the same engine: it runs while
+// holding a worker slot, so nested calls can exhaust the pool and
+// deadlock. A compute that returns a cancellation error is withdrawn
+// from the memo — a cancellation is not a fact about the key — so a
+// later call retries it for real.
+func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	if key == "" {
+		if err := e.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer e.release()
+		return compute()
+	}
+
+	var ent *memoEntry
+	for {
+		e.mu.Lock()
+		if existing, ok := e.memo[key]; ok {
+			e.mu.Unlock()
+			select {
+			case <-existing.done:
+				if IsCancellation(existing.err) {
+					// The owner was cancelled before it could compute
+					// and withdrew the entry; retry under our own
+					// context rather than inheriting its cancellation.
+					continue
+				}
+				e.hits.Add(1)
+				if existing.err != nil {
+					return nil, existing.err
+				}
+				return existing.val, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		ent = &memoEntry{done: make(chan struct{})}
+		e.memo[key] = ent
+		e.mu.Unlock()
+		break
+	}
+
+	if err := e.acquire(ctx); err != nil {
+		// Never computed: withdraw the entry so a later call can retry,
+		// and release current waiters with the cancellation.
+		e.mu.Lock()
+		delete(e.memo, key)
+		e.mu.Unlock()
+		ent.err = err
+		close(ent.done)
+		return nil, err
+	}
+	e.misses.Add(1)
+	ent.val, ent.err = compute()
+	e.release()
+	if IsCancellation(ent.err) {
+		// A cancellation is not a fact about the key; withdraw the
+		// entry (before closing done, so woken waiters re-find an empty
+		// slot) so another call can compute it for real.
+		e.mu.Lock()
+		delete(e.memo, key)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	if ent.err != nil {
+		return nil, ent.err
+	}
+	return ent.val, nil
+}
+
+// IsCancellation reports whether err is a context cancellation or
+// deadline rather than a genuine computation failure.
+func IsCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// FirstError selects a batch's reportable error: the first genuine
+// failure in input order or, if every error is a cancellation, the
+// first cancellation — so a deterministic config error is never masked
+// by the cancellations it triggered in sibling points. A non-nil wrap
+// decorates the chosen error with its index (e.g. an experiment ID).
+// It returns nil if every error is nil.
+func FirstError(errs []error, wrap func(int, error) error) error {
+	if wrap == nil {
+		wrap = func(_ int, err error) error { return err }
+	}
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !IsCancellation(err) {
+			return wrap(i, err)
+		}
+		if first == nil {
+			first = wrap(i, err)
+		}
+	}
+	return first
+}
+
+func (e *Engine) acquire(ctx context.Context) error {
+	// Check cancellation first: select chooses randomly among ready
+	// cases, and a cancelled batch must not start new work just because
+	// a worker slot happens to be free.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }

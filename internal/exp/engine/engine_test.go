@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Do computes each non-empty key once and serves repeats from the memo.
+func TestDoMemoizes(t *testing.T) {
+	e := New(2)
+	var computed atomic.Int64
+	compute := func() (any, error) {
+		computed.Add(1)
+		return 7, nil
+	}
+	for i := 0; i < 5; i++ {
+		v, err := e.Do(context.Background(), "k", compute)
+		if err != nil || v.(int) != 7 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computed.Load())
+	}
+	if hits, misses := e.Stats(); hits != 4 || misses != 1 {
+		t.Fatalf("stats %d/%d, want 4 hits / 1 miss", hits, misses)
+	}
+}
+
+// An empty key disables the memo entirely.
+func TestDoEmptyKey(t *testing.T) {
+	e := New(2)
+	var computed atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := e.Do(context.Background(), "", func() (any, error) {
+			computed.Add(1)
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computed.Load() != 3 {
+		t.Fatalf("computed %d times, want 3", computed.Load())
+	}
+}
+
+// Genuine failures are memoized; cancellations are withdrawn so a later
+// caller retries the key.
+func TestDoErrorMemoization(t *testing.T) {
+	e := New(1)
+	boom := errors.New("boom")
+	var n atomic.Int64
+	fail := func() (any, error) { n.Add(1); return nil, boom }
+	for i := 0; i < 2; i++ {
+		if _, err := e.Do(context.Background(), "fail", fail); !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if n.Load() != 1 {
+		t.Fatalf("failure recomputed: %d", n.Load())
+	}
+
+	n.Store(0)
+	cancelThenOK := func() (any, error) {
+		if n.Add(1) == 1 {
+			return nil, context.Canceled
+		}
+		return 1, nil
+	}
+	if _, err := e.Do(context.Background(), "retry", cancelThenOK); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := e.Do(context.Background(), "retry", cancelThenOK)
+	if err != nil || v.(int) != 1 {
+		t.Fatalf("retry after cancellation: %v, %v", v, err)
+	}
+}
+
+// Concurrent Do calls on one key compute once; everyone gets the value.
+func TestDoConcurrentDuplicates(t *testing.T) {
+	e := New(4)
+	var computed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := e.Do(context.Background(), "dup", func() (any, error) {
+				computed.Add(1)
+				return 42, nil
+			})
+			if err != nil || v.(int) != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if computed.Load() != 1 {
+		t.Fatalf("computed %d times, want 1", computed.Load())
+	}
+}
+
+// A cancelled context aborts before computing.
+func TestDoCancelled(t *testing.T) {
+	e := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Do(ctx, "c", func() (any, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The key was withdrawn: a live context computes it.
+	if _, err := e.Do(context.Background(), "c", func() (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,18 +12,60 @@
 // assemble tables from the ordered results; they never loop over sim.Run
 // inline. Because every underlying computation is deterministic, a
 // parallel run is byte-identical to a serial (workers=1) run.
+//
+// The worker pool and memo themselves live in internal/exp/engine, one
+// layer below the simulator, so that sim.RunSampled can fan samples out
+// across the same pool; this package re-exports the engine surface and
+// adds the typed Point API on top.
 package exp
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
+	"scaleout/internal/exp/engine"
 	"scaleout/internal/sim"
 )
+
+// Engine is the parallel, memoizing sweep runner (engine.Engine). The
+// zero value is not usable; construct with New. An Engine is safe for
+// concurrent use by any number of goroutines; its memo is shared across
+// all batches run on it for the life of the process.
+type Engine = engine.Engine
+
+// New returns an engine with the given worker-pool size; workers <= 0
+// selects GOMAXPROCS.
+func New(workers int) *Engine { return engine.New(workers) }
+
+// Default returns the process-wide engine: GOMAXPROCS workers and a
+// memo shared by everything that does not install its own engine.
+func Default() *Engine { return engine.Default() }
+
+// WithEngine returns a context carrying e; experiment code retrieves it
+// with FromContext. This is how the CLI's -parallel flag and the
+// serial-baseline tests select a pool size without threading an Engine
+// through every generator signature.
+func WithEngine(ctx context.Context, e *Engine) context.Context {
+	return engine.WithEngine(ctx, e)
+}
+
+// FromContext returns the context's engine, or Default if none is set.
+func FromContext(ctx context.Context) *Engine { return engine.FromContext(ctx) }
+
+// Fingerprint canonically serializes a configuration value. fmt prints
+// map fields in sorted key order, so two equal values always produce the
+// same string regardless of construction order.
+func Fingerprint(v any) string { return engine.Fingerprint(v) }
+
+// FirstError selects a batch's reportable error: the first genuine
+// failure in input order or, if every error is a cancellation, the
+// first cancellation — so a deterministic config error is never masked
+// by the cancellations it triggered in sibling points. A non-nil wrap
+// decorates the chosen error with its index (e.g. an experiment ID).
+// It returns nil if every error is nil.
+func FirstError(errs []error, wrap func(int, error) error) error {
+	return engine.FirstError(errs, wrap)
+}
 
 // Point is one unit of experiment work: a canonical fingerprint plus the
 // deterministic computation it identifies. Two points with equal non-empty
@@ -38,16 +80,11 @@ type Point[R any] interface {
 // SimPoint runs the cycle-level simulator on one configuration.
 type SimPoint struct{ Config sim.Config }
 
-// Key fingerprints the defaults-applied configuration, so two Configs
-// that differ only in fields the simulator would default identically
-// (e.g. an explicit crossbar vs the zero-value default) share a key.
-func (p SimPoint) Key() string {
-	c, err := p.Config.Canonical()
-	if err != nil {
-		c = p.Config // invalid: key the raw form, Compute reports the error
-	}
-	return "sim:" + Fingerprint(c)
-}
+// Key fingerprints the defaults-applied configuration (sim.Config.Key),
+// so two Configs that differ only in fields the simulator would default
+// identically (e.g. an explicit crossbar vs the zero-value default)
+// share a key.
+func (p SimPoint) Key() string { return p.Config.Key() }
 
 // Compute runs the simulation.
 func (p SimPoint) Compute() (sim.Result, error) { return sim.Run(p.Config) }
@@ -56,13 +93,7 @@ func (p SimPoint) Compute() (sim.Result, error) { return sim.Run(p.Config) }
 type StructuralPoint struct{ Config sim.StructuralConfig }
 
 // Key fingerprints the defaults-applied configuration.
-func (p StructuralPoint) Key() string {
-	c, err := p.Config.Canonical()
-	if err != nil {
-		c = p.Config
-	}
-	return "structural:" + Fingerprint(c)
-}
+func (p StructuralPoint) Key() string { return p.Config.Key() }
 
 // Compute runs the structural simulation.
 func (p StructuralPoint) Compute() (sim.StructuralResult, error) {
@@ -83,78 +114,6 @@ func (p Func[R]) Key() string { return p.K }
 
 // Compute invokes the wrapped function.
 func (p Func[R]) Compute() (R, error) { return p.F() }
-
-// Fingerprint canonically serializes a configuration value. fmt prints
-// map fields in sorted key order, so two equal values always produce the
-// same string regardless of construction order.
-func Fingerprint(v any) string { return fmt.Sprintf("%#v", v) }
-
-// Engine is a parallel, memoizing sweep runner. The zero value is not
-// usable; construct with New. An Engine is safe for concurrent use by
-// any number of goroutines; its memo is shared across all batches run
-// on it for the life of the process.
-type Engine struct {
-	sem  chan struct{} // one slot per worker
-	mu   sync.Mutex
-	memo map[string]*memoEntry
-
-	hits   atomic.Int64
-	misses atomic.Int64
-}
-
-// memoEntry is the memo slot for one key. done is closed once val/err
-// are final, so concurrent requests for an in-flight key wait instead of
-// recomputing.
-type memoEntry struct {
-	done chan struct{}
-	val  any
-	err  error
-}
-
-// New returns an engine with the given worker-pool size; workers <= 0
-// selects GOMAXPROCS.
-func New(workers int) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &Engine{
-		sem:  make(chan struct{}, workers),
-		memo: make(map[string]*memoEntry),
-	}
-}
-
-// Workers reports the worker-pool size.
-func (e *Engine) Workers() int { return cap(e.sem) }
-
-// Stats reports memo hits (points served from cache, including waits on
-// in-flight duplicates) and misses (points actually computed).
-func (e *Engine) Stats() (hits, misses int64) {
-	return e.hits.Load(), e.misses.Load()
-}
-
-var defaultEngine = New(0)
-
-// Default returns the process-wide engine: GOMAXPROCS workers and a
-// memo shared by everything that does not install its own engine.
-func Default() *Engine { return defaultEngine }
-
-type ctxKey struct{}
-
-// WithEngine returns a context carrying e; experiment code retrieves it
-// with FromContext. This is how the CLI's -parallel flag and the
-// serial-baseline tests select a pool size without threading an Engine
-// through every generator signature.
-func WithEngine(ctx context.Context, e *Engine) context.Context {
-	return context.WithValue(ctx, ctxKey{}, e)
-}
-
-// FromContext returns the context's engine, or Default if none is set.
-func FromContext(ctx context.Context) *Engine {
-	if e, ok := ctx.Value(ctxKey{}).(*Engine); ok && e != nil {
-		return e
-	}
-	return Default()
-}
 
 // Points evaluates every point on e's worker pool and returns results in
 // input order. The first error (in input order, preferring genuine
@@ -178,7 +137,7 @@ func Points[R any](ctx context.Context, e *Engine, pts []Point[R]) ([]R, error) 
 		go func(i int, p Point[R]) {
 			defer wg.Done()
 			out[i], errs[i] = resolve(ctx, e, p)
-			if errs[i] != nil && !isCancellation(errs[i]) {
+			if errs[i] != nil && !engine.IsCancellation(errs[i]) {
 				cancel()
 			}
 		}(i, p)
@@ -190,47 +149,34 @@ func Points[R any](ctx context.Context, e *Engine, pts []Point[R]) ([]R, error) 
 	return out, nil
 }
 
-// FirstError selects a batch's reportable error: the first genuine
-// failure in input order or, if every error is a cancellation, the
-// first cancellation — so a deterministic config error is never masked
-// by the cancellations it triggered in sibling points. A non-nil wrap
-// decorates the chosen error with its index (e.g. an experiment ID).
-// It returns nil if every error is nil.
-func FirstError(errs []error, wrap func(int, error) error) error {
-	if wrap == nil {
-		wrap = func(_ int, err error) error { return err }
+// resolve computes one point on the engine's pool and memo.
+func resolve[R any](ctx context.Context, e *Engine, p Point[R]) (R, error) {
+	v, err := e.Do(ctx, p.Key(), func() (any, error) { return p.Compute() })
+	if err != nil {
+		var zero R
+		return zero, err
 	}
-	var first error
-	for i, err := range errs {
-		if err == nil {
-			continue
-		}
-		if !isCancellation(err) {
-			return wrap(i, err)
-		}
-		if first == nil {
-			first = wrap(i, err)
-		}
-	}
-	return first
+	return v.(R), nil
 }
 
-// Sims evaluates a batch of cycle-simulator configurations.
-func (e *Engine) Sims(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error) {
+// Sims evaluates a batch of cycle-simulator configurations on the
+// context's engine (FromContext).
+func Sims(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error) {
 	pts := make([]Point[sim.Result], len(cfgs))
 	for i, c := range cfgs {
 		pts[i] = SimPoint{c}
 	}
-	return Points(ctx, e, pts)
+	return Points(ctx, FromContext(ctx), pts)
 }
 
-// Structurals evaluates a batch of structural-simulator configurations.
-func (e *Engine) Structurals(ctx context.Context, cfgs []sim.StructuralConfig) ([]sim.StructuralResult, error) {
+// Structurals evaluates a batch of structural-simulator configurations
+// on the context's engine (FromContext).
+func Structurals(ctx context.Context, cfgs []sim.StructuralConfig) ([]sim.StructuralResult, error) {
 	pts := make([]Point[sim.StructuralResult], len(cfgs))
 	for i, c := range cfgs {
 		pts[i] = StructuralPoint{c}
 	}
-	return Points(ctx, e, pts)
+	return Points(ctx, FromContext(ctx), pts)
 }
 
 // Map evaluates fn over items on e's worker pool, unmemoized, returning
@@ -244,94 +190,3 @@ func Map[T, R any](ctx context.Context, e *Engine, items []T, fn func(T) (R, err
 	}
 	return Points(ctx, e, pts)
 }
-
-// resolve computes one point, consulting and populating the memo.
-func resolve[R any](ctx context.Context, e *Engine, p Point[R]) (R, error) {
-	var zero R
-	key := p.Key()
-	if key == "" {
-		if err := e.acquire(ctx); err != nil {
-			return zero, err
-		}
-		defer e.release()
-		return p.Compute()
-	}
-
-	var ent *memoEntry
-	for {
-		e.mu.Lock()
-		if existing, ok := e.memo[key]; ok {
-			e.mu.Unlock()
-			select {
-			case <-existing.done:
-				if isCancellation(existing.err) {
-					// The owner was cancelled before it could compute
-					// and withdrew the entry; retry under our own
-					// context rather than inheriting its cancellation.
-					continue
-				}
-				e.hits.Add(1)
-				return entValue[R](existing)
-			case <-ctx.Done():
-				return zero, ctx.Err()
-			}
-		}
-		ent = &memoEntry{done: make(chan struct{})}
-		e.memo[key] = ent
-		e.mu.Unlock()
-		break
-	}
-
-	if err := e.acquire(ctx); err != nil {
-		// Never computed: withdraw the entry so a later batch can retry,
-		// and release current waiters with the cancellation.
-		e.mu.Lock()
-		delete(e.memo, key)
-		e.mu.Unlock()
-		ent.err = err
-		close(ent.done)
-		return zero, err
-	}
-	e.misses.Add(1)
-	ent.val, ent.err = p.Compute()
-	e.release()
-	if isCancellation(ent.err) {
-		// A cancellation is not a fact about the point; withdraw the
-		// entry (before closing done, so woken waiters re-find an empty
-		// slot) so another batch can compute it for real.
-		e.mu.Lock()
-		delete(e.memo, key)
-		e.mu.Unlock()
-	}
-	close(ent.done)
-	return entValue[R](ent)
-}
-
-func isCancellation(err error) bool {
-	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-}
-
-func entValue[R any](ent *memoEntry) (R, error) {
-	if ent.err != nil {
-		var zero R
-		return zero, ent.err
-	}
-	return ent.val.(R), nil
-}
-
-func (e *Engine) acquire(ctx context.Context) error {
-	// Check cancellation first: select chooses randomly among ready
-	// cases, and a cancelled batch must not start new work just because
-	// a worker slot happens to be free.
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	select {
-	case e.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-func (e *Engine) release() { <-e.sem }

@@ -120,11 +120,11 @@ func TestSimsMemoized(t *testing.T) {
 		{Workload: w, CoreType: tech.OoO, Cores: 2, LLCMB: 1},
 		{Workload: w, CoreType: tech.InOrder, Cores: 2, LLCMB: 1},
 	}
-	first, err := e.Sims(context.Background(), cfgs)
+	first, err := Sims(WithEngine(context.Background(), e), cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := e.Sims(context.Background(), cfgs)
+	second, err := Sims(WithEngine(context.Background(), e), cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestErrorPropagation(t *testing.T) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// Invalid sim configs surface their validation error.
-	if _, err := e.Sims(context.Background(), []sim.Config{{}}); err == nil {
+	if _, err := Sims(WithEngine(context.Background(), e), []sim.Config{{}}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }

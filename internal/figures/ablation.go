@@ -102,7 +102,7 @@ func ablateBanks(ctx context.Context) (Table, error) {
 			Net: net, MemChannels: ch4Channels,
 		}
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -132,7 +132,7 @@ func ablateMSHR(ctx context.Context) (Table, error) {
 			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4, L1MSHRs: e,
 		}
 	}
-	rs, err := exp.FromContext(ctx).Structurals(ctx, cfgs)
+	rs, err := exp.Structurals(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -166,7 +166,7 @@ func ablateLinkWidth(ctx context.Context) (Table, error) {
 			cfgs = append(cfgs, ch4Cfg(w, kind, bits))
 		}
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -209,7 +209,7 @@ func ablateSharing(ctx context.Context) (Table, error) {
 			Net: noc.New(noc.Mesh, 64), MemChannels: 4,
 		}
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}

@@ -39,7 +39,7 @@ func fig21(ctx context.Context) (Table, error) {
 			Net: noc.New(noc.Crossbar, 4), DisableSWScaling: true,
 		}
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}

@@ -100,7 +100,7 @@ func fig33(ctx context.Context) (Table, error) {
 			}
 		}
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}

@@ -73,7 +73,7 @@ func fig43(ctx context.Context) (Table, error) {
 	for i, w := range ws {
 		cfgs[i] = ch4Cfg(w, noc.Mesh, 0)
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -116,7 +116,7 @@ func nocPerf(ctx context.Context, id string, areaBudget float64) (Table, error) 
 			cfgs = append(cfgs, ch4Cfg(w, kind, bits))
 		}
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -181,7 +181,7 @@ func power44(ctx context.Context) (Table, error) {
 			cfgs = append(cfgs, ch4Cfg(w, kind, 0))
 		}
 	}
-	rs, err := exp.FromContext(ctx).Sims(ctx, cfgs)
+	rs, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}

@@ -107,7 +107,7 @@ func extStructural(ctx context.Context) (Table, error) {
 			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4,
 		}
 	}
-	rs, err := exp.FromContext(ctx).Structurals(ctx, cfgs)
+	rs, err := exp.Structurals(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}

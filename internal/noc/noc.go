@@ -247,6 +247,14 @@ func (c Config) SerializationCycles(bytes int) float64 {
 	return float64(flits - 1)
 }
 
+// ReplySerializationCycles returns the serialization cycles of a data
+// reply — a cache line plus its header, the packet a simulator's reply
+// path streams back to the core. Exposed so timing components consume
+// the reply packet size from one place instead of restating it.
+func (c Config) ReplySerializationCycles() float64 {
+	return c.SerializationCycles(replyBytes)
+}
+
 // AccessLatency is the network contribution to an LLC hit as the thesis
 // counts it: the header latency through the fabric plus the cycles to
 // stream the data reply's body. (The thesis's calibrated interconnect

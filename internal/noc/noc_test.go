@@ -256,3 +256,22 @@ func TestNOCOutScalability(t *testing.T) {
 		t.Fatal("express links changed a short tree")
 	}
 }
+
+// ReplySerializationCycles is the data-reply packet's streaming cost —
+// the one the simulator's reply path uses — and must equal serializing
+// a line plus its header at the configured link width.
+func TestReplySerializationCycles(t *testing.T) {
+	for _, c := range []Config{
+		New(Mesh, 64),                         // 128-bit links
+		New(Crossbar, 16),                     // 256-bit datapath
+		New(Mesh, 64).WithLinkBits(64),        // narrowed links
+		{Kind: FlattenedButterfly, Cores: 64}, // zero LinkBits: defaulted
+	} {
+		if got, want := c.ReplySerializationCycles(), c.SerializationCycles(replyBytes); got != want {
+			t.Fatalf("%v: reply serialization %v, want %v", c.Kind, got, want)
+		}
+	}
+	if New(Mesh, 64).ReplySerializationCycles() <= New(Crossbar, 16).ReplySerializationCycles() {
+		t.Fatal("flit-serialized mesh reply should cost more than the wide crossbar datapath")
+	}
+}

@@ -15,13 +15,23 @@
 // over the analytic model — and what Figure 3.3's validation measures —
 // is timing fidelity: queueing at banks and channels, MLP saturation,
 // burstiness, and software-scalability derating.
+//
+// Two simulators share one event-scheduled kernel (kernel.go): the
+// statistical machine in this file draws cache behaviour from the
+// calibrated curves, while the structural machine (structural.go)
+// replays synthetic streams through real cache arrays. Each plugs its
+// access model into the kernel as a coreModel; the kernel supplies the
+// scheduler, the bank/channel/directory timing spine, and the stats.
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"scaleout/internal/cache"
+	"scaleout/internal/exp/engine"
 	"scaleout/internal/noc"
 	"scaleout/internal/stats"
 	"scaleout/internal/tech"
@@ -113,6 +123,18 @@ func (c Config) Canonical() (Config, error) {
 	return c, err
 }
 
+// Key canonically fingerprints the defaults-applied configuration — the
+// memo key under which experiment engines (internal/exp) deduplicate
+// identical sweep points. Invalid configurations key their raw form;
+// running them reports the validation error.
+func (c Config) Key() string {
+	cc, err := c.Canonical()
+	if err != nil {
+		cc = c
+	}
+	return "sim:" + engine.Fingerprint(cc)
+}
+
 // banksFor mirrors the analytic model's banking rule (Table 3.1): UCA
 // designs have one bank per four cores; NUCA fabrics one bank per tile,
 // except NOC-Out, which concentrates two banks in each of its LLC tiles.
@@ -142,6 +164,18 @@ const sharedPoolBlocks = 512
 
 // Run simulates the configuration and returns measured results.
 func Run(cfg Config) (Result, error) {
+	return runKernel(cfg, lockstepKernel.Load())
+}
+
+// RunLockstep simulates the configuration on the lock-step reference
+// kernel — the seed implementation that polls every core every cycle.
+// Results are byte-identical to Run; it exists as the baseline for the
+// kernel-equivalence golden tests and the `soproc -bench` harness.
+func RunLockstep(cfg Config) (Result, error) {
+	return runKernel(cfg, true)
+}
+
+func runKernel(cfg Config, lockstep bool) (Result, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return Result{}, err
 	}
@@ -149,51 +183,71 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m.run(cfg.WarmupCycles)
-	m.resetStats()
-	m.run(cfg.MeasureCycles)
+	m.simulate(cfg.WarmupCycles, cfg.MeasureCycles, lockstep)
 	return m.result(), nil
 }
+
+// sampleSeed derives the i-th sample's seed from the base configuration.
+func sampleSeed(base uint64, i int) uint64 { return base + uint64(i)*0x9E37 }
 
 // RunSampled runs n independent samples with distinct seeds and returns
 // the per-sample results plus an accumulator over aggregate IPC — the
 // SimFlex-style sampling methodology (Section 3.3) that lets callers
-// check the 95% confidence interval.
+// check the 95% confidence interval. Samples fan out across the default
+// experiment engine's worker pool; see RunSampledContext to choose the
+// engine.
 func RunSampled(cfg Config, n int) ([]Result, *stats.Accumulator, error) {
+	return RunSampledContext(context.Background(), cfg, n)
+}
+
+// RunSampledContext is RunSampled on the context's experiment engine
+// (engine.FromContext): samples run in parallel on the engine's worker
+// pool and are memoized per seed like any other sweep point. Results
+// are returned in seed order and are byte-identical to a serial,
+// single-worker run.
+//
+// Do not call it from inside a computation already running on the same
+// engine (e.g. an exp.Func point): the outer computation holds a worker
+// slot while the samples wait for one, which deadlocks a small pool.
+// Declare the samples as top-level sweep points instead.
+func RunSampledContext(ctx context.Context, cfg Config, n int) ([]Result, *stats.Accumulator, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("sim: %d samples", n)
 	}
-	var acc stats.Accumulator
-	out := make([]Result, 0, n)
+	e := engine.FromContext(ctx)
+	out := make([]Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		c := cfg
-		c.Seed = cfg.Seed + uint64(i)*0x9E37
-		r, err := Run(c)
-		if err != nil {
-			return nil, nil, err
-		}
-		out = append(out, r)
+		c.Seed = sampleSeed(cfg.Seed, i)
+		wg.Add(1)
+		go func(i int, c Config) {
+			defer wg.Done()
+			v, err := e.Do(ctx, c.Key(), func() (any, error) { return Run(c) })
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = v.(Result)
+		}(i, c)
+	}
+	wg.Wait()
+	if err := engine.FirstError(errs, nil); err != nil {
+		return nil, nil, err
+	}
+	var acc stats.Accumulator
+	for _, r := range out {
 		acc.Add(r.AppIPC)
 	}
 	return out, &acc, nil
 }
 
-// machine is the simulated hardware: cores, LLC banks, directory, and
-// memory channels, advanced in lock-step cycles.
+// machine is the statistical simulator: the shared kernel plus cores
+// whose memory behaviour is drawn from the calibrated workload curves.
 type machine struct {
-	cfg   cfgDerived
+	kernel
 	cores []coreState
-	banks []int64 // next cycle each LLC bank can accept a request
-	chans []int64 // next cycle each memory channel can start a line
-	dir   *cache.Directory
-	now   int64
-
-	// measured stats
-	instructions  uint64
-	llcAccesses   uint64
-	llcMisses     uint64
-	llcLatencySum uint64
-	offChipLines  uint64
 }
 
 // cfgDerived caches per-run constants derived from the Config.
@@ -201,6 +255,7 @@ type cfgDerived struct {
 	Config
 	pInstr      float64 // P(instruction slot performs an LLC I-fetch)
 	pData       float64 // P(instruction slot performs an LLC data access)
+	pAccess     float64 // pInstr + pData, the issue loop's second branch
 	pMissInstr  float64 // P(I-fetch misses LLC)
 	pMissData   float64 // P(data access misses LLC)
 	baseIPC     float64
@@ -227,6 +282,7 @@ func derive(cfg Config) cfgDerived {
 	d := cfgDerived{Config: cfg}
 	d.pInstr = iAPKI / 1000
 	d.pData = dAPKI / 1000
+	d.pAccess = d.pInstr + d.pData
 	if iAPKI > 0 {
 		d.pMissInstr = acc.IMissMPKI / iAPKI
 	}
@@ -244,7 +300,7 @@ func derive(cfg Config) cfgDerived {
 		d.slots = 1
 	}
 	d.netLat = int64(math.Round(cfg.Net.OneWayLatency()))
-	d.replyLat = d.netLat + int64(cfg.Net.SerializationCycles(tech.CacheLineBytes+8))
+	d.replyLat = d.netLat + int64(cfg.Net.ReplySerializationCycles())
 	d.banks = cfg.banksFor()
 	d.bankLat = int64(tech.LLCBankLatency(cfg.LLCMB / float64(d.banks)))
 	d.bankBusy = 1
@@ -265,70 +321,30 @@ func derive(cfg Config) cfgDerived {
 	return d
 }
 
-// coreState is one core's execution state.
-type coreState struct {
-	rng          *stats.Rng
-	credit       float64 // fractional issue budget from the base IPC
-	stallDebt    float64 // exposed LLC-hit latency still to drain
-	blockedUntil int64   // front-end or blocking-load stall
-	slotDone     []int64 // completion cycles of outstanding off-chip loads
-	privateSeq   uint64  // streaming pointer into the core's private data
-}
-
 func newMachine(cfg Config) (*machine, error) {
-	d := derive(cfg)
-	dir, err := cache.NewDirectory(min(cfg.Cores, 64))
+	k, err := newKernel(cfg)
 	if err != nil {
 		return nil, err
 	}
 	m := &machine{
-		cfg:   d,
-		cores: make([]coreState, cfg.Cores),
-		banks: make([]int64, d.banks),
-		chans: make([]int64, cfg.MemChannels),
-		dir:   dir,
+		kernel: k,
+		cores:  make([]coreState, cfg.Cores),
 	}
 	for i := range m.cores {
-		m.cores[i] = coreState{
-			rng:      stats.NewRng(cfg.Seed + uint64(i)*0x9E3779B97F4A7C15),
-			slotDone: make([]int64, 0, d.slots),
-		}
+		m.cores[i] = newCoreState(cfg.Seed, i, m.cfg.slots)
 	}
+	m.attach(m)
 	return m, nil
 }
 
-func (m *machine) resetStats() {
-	m.instructions = 0
-	m.llcAccesses = 0
-	m.llcMisses = 0
-	m.llcLatencySum = 0
-	m.offChipLines = 0
-	m.dir.Lookups = 0
-	m.dir.SnoopsSent = 0
-	m.dir.SnoopAccesses = 0
-	m.dir.Invalidation = 0
-	m.dir.Forwards = 0
-}
+// core returns core i's scheduling state to the kernel.
+func (m *machine) core(i int) *coreState { return &m.cores[i] }
 
-func (m *machine) run(cycles int) {
-	end := m.now + int64(cycles)
-	for ; m.now < end; m.now++ {
-		for i := range m.cores {
-			m.stepCore(i)
-		}
-	}
-}
-
-// stepCore advances core i by one cycle.
-func (m *machine) stepCore(i int) {
+// stepActive advances core i through one active cycle: retirement, then
+// the issue loop. The kernel has already drained stall debt and waited
+// out front-end or blocking-load stalls.
+func (m *machine) stepActive(i int) {
 	c := &m.cores[i]
-	if c.stallDebt >= 1 {
-		c.stallDebt--
-		return
-	}
-	if m.now < c.blockedUntil {
-		return
-	}
 	// Retire completed off-chip loads to free MLP slots.
 	live := c.slotDone[:0]
 	for _, done := range c.slotDone {
@@ -347,10 +363,10 @@ func (m *machine) stepCore(i int) {
 		case u < m.cfg.pInstr:
 			// Instruction fetch from the LLC: the front end stalls for
 			// the full access latency.
-			done := m.access(i, c, true, false)
+			done := m.access(c, true)
 			c.blockedUntil = done
 			return
-		case u < m.cfg.pInstr+m.cfg.pData:
+		case u < m.cfg.pAccess:
 			isWrite := false
 			shared := c.rng.Float64() < m.cfg.Workload.SharedFrac
 			if shared {
@@ -379,18 +395,12 @@ func (m *machine) stepCore(i int) {
 	}
 }
 
-// isMissLatency distinguishes off-chip completions from LLC hits by
-// magnitude (misses always include the DRAM latency).
-func (m *machine) isMissLatency(lat int64) bool {
-	return lat >= m.cfg.memLat
-}
-
 // dataAccess performs a data access, consulting the directory for shared
 // blocks. It returns the completion cycle.
 func (m *machine) dataAccess(i int, c *coreState, shared, isWrite bool) int64 {
 	if !shared {
 		c.privateSeq++
-		return m.access(i, c, false, false)
+		return m.access(c, false)
 	}
 	block := uint64(c.rng.Intn(sharedPoolBlocks))
 	var res cache.AccessResult
@@ -400,7 +410,7 @@ func (m *machine) dataAccess(i int, c *coreState, shared, isWrite bool) int64 {
 	} else {
 		res = m.dir.Read(dirCore, block)
 	}
-	done := m.accessShared(i, c, res.ForwardedFromL1)
+	done := m.accessShared(c, res.ForwardedFromL1)
 	if res.Snoops > 0 && !res.ForwardedFromL1 {
 		// Invalidations complete in the background; only a fraction of
 		// their latency is on the critical path (write acknowledgment).
@@ -410,99 +420,18 @@ func (m *machine) dataAccess(i int, c *coreState, shared, isWrite bool) int64 {
 }
 
 // access performs a plain LLC access (instruction fetch or private data).
-func (m *machine) access(i int, c *coreState, isInstr, _ bool) int64 {
+func (m *machine) access(c *coreState, isInstr bool) int64 {
 	pMiss := m.cfg.pMissData
 	if isInstr {
 		pMiss = m.cfg.pMissInstr
 	}
 	miss := c.rng.Float64() < pMiss
-	return m.timeAccess(c, miss, false)
+	return m.timeAccess(c.rng, miss, false)
 }
 
 // accessShared performs the LLC-side timing of a shared-block access.
 // Shared metadata is hot and hits on chip; a forward adds an L1-to-L1
 // round trip through the LLC fabric.
-func (m *machine) accessShared(i int, c *coreState, forwarded bool) int64 {
-	return m.timeAccess(c, false, forwarded)
-}
-
-// timeAccess models the request path: network to a bank, bank queueing
-// and access, then either the reply or the memory-channel round trip.
-func (m *machine) timeAccess(c *coreState, miss, forwarded bool) int64 {
-	m.llcAccesses++
-	bank := c.rng.Intn(m.cfg.banks)
-	arrive := m.now + m.cfg.netLat
-	start := arrive
-	if m.banks[bank] > start {
-		start = m.banks[bank]
-	}
-	m.banks[bank] = start + m.cfg.bankBusy // pipelined bank accept rate
-	ready := start + m.cfg.bankLat
-
-	var done int64
-	switch {
-	case miss:
-		m.llcMisses++
-		m.offChipLines++
-		occupancy := m.cfg.lineCycles
-		if c.rng.Float64() < m.cfg.writebackPr {
-			// A dirty eviction accompanies the fill and occupies the
-			// channel for another line, off the critical path.
-			m.offChipLines++
-			occupancy += m.cfg.lineCycles
-		}
-		ch := c.rng.Intn(len(m.chans))
-		chStart := ready
-		if m.chans[ch] > chStart {
-			chStart = m.chans[ch]
-		}
-		m.chans[ch] = chStart + occupancy
-		done = chStart + m.cfg.memLat + m.cfg.replyLat
-	case forwarded:
-		// LLC directory forwards to the owning L1 and back.
-		done = ready + 2*m.cfg.netLat + m.cfg.replyLat
-	default:
-		done = ready + m.cfg.replyLat
-	}
-	m.llcLatencySum += uint64(done - m.now)
-	return done
-}
-
-func (m *machine) result() Result {
-	cycles := m.cfg.MeasureCycles
-	appInstr := float64(m.instructions) * m.cfg.swEff
-	r := Result{
-		Cycles:          cycles,
-		Instructions:    uint64(appInstr),
-		AppIPC:          appInstr / float64(cycles),
-		LLCAccesses:     m.llcAccesses,
-		LLCMisses:       m.llcMisses,
-		SnoopRatePct:    m.dirSnoopPct(),
-		OffChipGBs:      float64(m.offChipLines) * tech.CacheLineBytes * tech.ClockGHz / float64(cycles),
-		DirectoryBlocks: m.dir.TrackedBlocks(),
-	}
-	r.PerCoreIPC = r.AppIPC / float64(len(m.cores))
-	if m.llcAccesses > 0 {
-		r.AvgLLCLatency = float64(m.llcLatencySum) / float64(m.llcAccesses)
-	}
-	return r
-}
-
-// dirSnoopPct scales the directory's snoop rate (over tracked shared
-// accesses) to the full LLC access stream, as Figure 4.3 plots it.
-func (m *machine) dirSnoopPct() float64 {
-	if m.llcAccesses == 0 {
-		return 0
-	}
-	return 100 * float64(m.dir.SnoopAccesses) / float64(m.llcAccesses)
-}
-
-func minInt64(xs []int64) int64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
+func (m *machine) accessShared(c *coreState, forwarded bool) int64 {
+	return m.timeAccess(c.rng, false, forwarded)
 }

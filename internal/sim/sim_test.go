@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"scaleout/internal/analytic"
+	"scaleout/internal/exp/engine"
 	"scaleout/internal/noc"
 	"scaleout/internal/tech"
 	"scaleout/internal/workload"
@@ -227,6 +229,65 @@ func TestRunSampled(t *testing.T) {
 	}
 	if _, _, err := RunSampled(cfg, 0); err == nil {
 		t.Fatal("zero samples accepted")
+	}
+}
+
+// Parallel sampling must match a serial per-seed loop exactly: same
+// per-sample results in seed order, same accumulator, independent of
+// the worker count.
+func TestSampledParallelMatchesSerial(t *testing.T) {
+	cfg := baseCfg(t)
+	cfg.WarmupCycles, cfg.MeasureCycles = 2000, 5000
+	const n = 6
+
+	// Serial reference: one Run per derived seed, in order.
+	var serial []Result
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = sampleSeed(cfg.Seed, i)
+		serial = append(serial, run(t, c))
+	}
+
+	for _, workers := range []int{1, 8} {
+		ctx := engine.WithEngine(context.Background(), engine.New(workers))
+		results, acc, err := RunSampledContext(ctx, cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != n || acc.N() != n {
+			t.Fatalf("workers=%d: %d results, acc %d", workers, len(results), acc.N())
+		}
+		for i := range results {
+			if results[i] != serial[i] {
+				t.Fatalf("workers=%d: sample %d diverged:\n%+v\n%+v",
+					workers, i, results[i], serial[i])
+			}
+		}
+	}
+}
+
+// Sampling fans out through the engine memo: re-sampling the same
+// configuration on one engine costs zero new simulations.
+func TestSampledMemoized(t *testing.T) {
+	cfg := baseCfg(t)
+	cfg.WarmupCycles, cfg.MeasureCycles = 1000, 2000
+	e := engine.New(2)
+	ctx := engine.WithEngine(context.Background(), e)
+	first, _, err := RunSampledContext(ctx, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := RunSampledContext(ctx, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("memoized sample %d differs", i)
+		}
+	}
+	if _, misses := e.Stats(); misses != 3 {
+		t.Fatalf("%d simulations ran, want 3", misses)
 	}
 }
 

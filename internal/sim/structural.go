@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"scaleout/internal/cache"
+	"scaleout/internal/exp/engine"
 	"scaleout/internal/noc"
 	"scaleout/internal/tech"
 	"scaleout/internal/trace"
@@ -81,6 +82,24 @@ func (c StructuralConfig) Canonical() (StructuralConfig, error) {
 	return c, err
 }
 
+// Key canonically fingerprints the defaults-applied configuration — the
+// memo key under which experiment engines deduplicate identical
+// structural sweep points.
+func (c StructuralConfig) Key() string {
+	cc, err := c.Canonical()
+	if err != nil {
+		cc = c
+	}
+	return "structural:" + engine.Fingerprint(cc)
+}
+
+// pendingMiss is one outstanding L1 miss: the block and the cycle its
+// fill returns.
+type pendingMiss struct {
+	block uint64
+	done  int64
+}
+
 // structCore is the per-core structural state.
 type structCore struct {
 	coreState
@@ -88,8 +107,11 @@ type structCore struct {
 	l1i  *cache.SetAssoc
 	l1d  *cache.SetAssoc
 	mshr *cache.MSHR
-	// outstanding MSHR entries: block -> completion cycle.
-	pending map[uint64]int64
+	// outstanding MSHR entries and their completion cycles. A small
+	// slice beats a map here: the retire scan runs every active cycle,
+	// and every use (retire filter, earliest-completion min, secondary
+	// lookup) is order-insensitive.
+	pending []pendingMiss
 
 	instrs     uint64
 	l1iMisses  uint64
@@ -97,10 +119,11 @@ type structCore struct {
 	mshrStalls uint64
 }
 
-// structMachine composes the statistical machine's timing spine (banks,
-// channels, directory) with real cache structures.
+// structMachine is the structural simulator: the shared kernel's timing
+// spine (scheduler, banks, channels, directory) plus real cache
+// structures replayed by synthetic reference streams.
 type structMachine struct {
-	machine
+	kernel
 	scfg    StructuralConfig
 	cores   []structCore
 	llc     []*cache.SetAssoc // one array per bank
@@ -109,6 +132,16 @@ type structMachine struct {
 
 // RunStructural simulates the configuration in structural mode.
 func RunStructural(cfg StructuralConfig) (StructuralResult, error) {
+	return runStructuralKernel(cfg, lockstepKernel.Load())
+}
+
+// RunStructuralLockstep simulates the configuration on the lock-step
+// reference kernel; see RunLockstep.
+func RunStructuralLockstep(cfg StructuralConfig) (StructuralResult, error) {
+	return runStructuralKernel(cfg, true)
+}
+
+func runStructuralKernel(cfg StructuralConfig, lockstep bool) (StructuralResult, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return StructuralResult{}, err
 	}
@@ -116,26 +149,30 @@ func RunStructural(cfg StructuralConfig) (StructuralResult, error) {
 	if err != nil {
 		return StructuralResult{}, err
 	}
-	m.runStructural(cfg.WarmupCycles)
+	run := m.run
+	if lockstep {
+		run = m.runLockstep
+	}
+	run(cfg.WarmupCycles)
 	m.resetStructStats()
-	m.runStructural(cfg.MeasureCycles)
+	run(cfg.MeasureCycles)
 	return m.structResult(), nil
 }
 
 func newStructMachine(cfg StructuralConfig) (*structMachine, error) {
-	// Reuse the statistical machine for banks/channels/directory sizing.
+	// Reuse the statistical kernel for banks/channels/directory sizing.
 	base := Config{
 		Workload: cfg.Workload, CoreType: cfg.CoreType, Cores: cfg.Cores,
 		LLCMB: cfg.LLCMB, Net: cfg.Net, MemChannels: cfg.MemChannels,
 		WarmupCycles: cfg.WarmupCycles, MeasureCycles: cfg.MeasureCycles,
 		Seed: cfg.Seed,
 	}
-	inner, err := newMachine(base)
+	k, err := newKernel(base)
 	if err != nil {
 		return nil, err
 	}
 	spec := tech.Cores(cfg.CoreType)
-	m := &structMachine{machine: *inner, scfg: cfg}
+	m := &structMachine{kernel: k, scfg: cfg}
 	banks := m.cfg.banks
 	bankBytes := int(cfg.LLCMB * 1024 * 1024 / float64(banks))
 	m.llc = make([]*cache.SetAssoc, banks)
@@ -171,9 +208,8 @@ func newStructMachine(cfg StructuralConfig) (*structMachine, error) {
 			return nil, err
 		}
 		m.cores[i] = structCore{
-			coreState: m.machine.cores[i],
+			coreState: newCoreState(cfg.Seed, i, m.cfg.slots),
 			gen:       gen, l1i: l1i, l1d: l1d, mshr: mshr,
-			pending: make(map[uint64]int64),
 		}
 	}
 	// Checkpoint-style warm start (Section 3.3: simulations launch from
@@ -183,6 +219,7 @@ func newStructMachine(cfg StructuralConfig) (*structMachine, error) {
 	for _, block := range m.cores[0].gen.ResidentBlocks() {
 		m.llcInsert(block, false)
 	}
+	m.attach(m)
 	return m, nil
 }
 
@@ -194,32 +231,23 @@ func (m *structMachine) resetStructStats() {
 	}
 }
 
-func (m *structMachine) runStructural(cycles int) {
-	end := m.now + int64(cycles)
-	for ; m.now < end; m.now++ {
-		for i := range m.cores {
-			m.stepStructCore(i)
-		}
-	}
-}
+// core returns core i's scheduling state to the kernel.
+func (m *structMachine) core(i int) *coreState { return &m.cores[i].coreState }
 
-// stepStructCore advances one core a cycle through the structural path.
-func (m *structMachine) stepStructCore(i int) {
+// stepActive advances core i through one active cycle of the structural
+// path: MSHR/MLP retirement, then the issue loop through the real L1s.
+func (m *structMachine) stepActive(i int) {
 	c := &m.cores[i]
-	if c.stallDebt >= 1 {
-		c.stallDebt--
-		return
-	}
-	if m.now < c.blockedUntil {
-		return
-	}
 	// Retire completed misses: free MSHR entries and MLP slots.
-	for block, done := range c.pending {
-		if done <= m.now {
-			c.mshr.Complete(block)
-			delete(c.pending, block)
+	livePending := c.pending[:0]
+	for _, p := range c.pending {
+		if p.done > m.now {
+			livePending = append(livePending, p)
+		} else {
+			c.mshr.Complete(p.block)
 		}
 	}
+	c.pending = livePending
 	live := c.slotDone[:0]
 	for _, done := range c.slotDone {
 		if done > m.now {
@@ -294,9 +322,9 @@ func (m *structMachine) structMiss(i int, c *structCore, acc trace.Access) (int6
 		// MSHR full: stall until the earliest outstanding miss returns.
 		c.mshrStalls++
 		earliest := int64(1<<62 - 1)
-		for _, done := range c.pending {
-			if done < earliest {
-				earliest = done
+		for _, p := range c.pending {
+			if p.done < earliest {
+				earliest = p.done
 			}
 		}
 		c.blockedUntil = earliest
@@ -304,7 +332,12 @@ func (m *structMachine) structMiss(i int, c *structCore, acc trace.Access) (int6
 	}
 	if !primary {
 		// Secondary miss: completes with the primary.
-		return c.pending[acc.Block], false
+		for _, p := range c.pending {
+			if p.block == acc.Block {
+				return p.done, false
+			}
+		}
+		return 0, false // unreachable: pending mirrors the MSHR file
 	}
 
 	// Directory for coherence-visible shared blocks.
@@ -332,11 +365,11 @@ func (m *structMachine) structMiss(i int, c *structCore, acc trace.Access) (int6
 			m.llcInsert(acc.Block, vDirty) // promote back into the array
 		}
 	}
-	done := m.timeStructAccess(bank, !hit, forwarded)
+	done := m.timeAccessBank(bank, !hit, forwarded)
 	if !hit {
 		m.llcInsert(acc.Block, false)
 	}
-	c.pending[acc.Block] = done
+	c.pending = append(c.pending, pendingMiss{block: acc.Block, done: done})
 	return done, false
 }
 
@@ -353,39 +386,6 @@ func (m *structMachine) llcInsert(block uint64, dirty bool) {
 			m.offChipLines++
 		}
 	}
-}
-
-// timeStructAccess mirrors machine.timeAccess but takes the hit/miss
-// decision from the real tag arrays rather than a draw.
-func (m *structMachine) timeStructAccess(bank int, miss, forwarded bool) int64 {
-	m.llcAccesses++
-	arrive := m.now + m.cfg.netLat
-	start := arrive
-	if m.banks[bank] > start {
-		start = m.banks[bank]
-	}
-	m.banks[bank] = start + m.cfg.bankBusy
-	ready := start + m.cfg.bankLat
-
-	var done int64
-	switch {
-	case miss:
-		m.llcMisses++
-		m.offChipLines++
-		ch := int(uint64(bank) % uint64(len(m.chans)))
-		chStart := ready
-		if m.chans[ch] > chStart {
-			chStart = m.chans[ch]
-		}
-		m.chans[ch] = chStart + m.cfg.lineCycles
-		done = chStart + m.cfg.memLat + m.cfg.replyLat
-	case forwarded:
-		done = ready + 2*m.cfg.netLat + m.cfg.replyLat
-	default:
-		done = ready + m.cfg.replyLat
-	}
-	m.llcLatencySum += uint64(done - m.now)
-	return done
 }
 
 func (m *structMachine) structResult() StructuralResult {

@@ -37,9 +37,12 @@ func (r *Rng) Uint64() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
-// Float64 returns a value uniformly distributed in [0, 1).
+// Float64 returns a value uniformly distributed in [0, 1). Multiplying
+// by the exact reciprocal is bit-identical to dividing by 2^53 (both
+// are exact power-of-two scalings) and keeps a division off the
+// simulator's hottest path.
 func (r *Rng) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Intn returns a value uniformly distributed in [0, n). It panics if n <= 0.
@@ -109,6 +112,54 @@ func (r *Rng) Zipf(n int, s float64) int {
 	}
 	if k >= n {
 		k = n - 1
+	}
+	return k
+}
+
+// ZipfGen draws from a fixed Zipf-like distribution over ranks [0, n)
+// with skew s — the repeated-draw form of Rng.Zipf. The normalizer of
+// the truncated harmonic series and the reciprocal exponent depend only
+// on (n, s), so they are computed once here; a draw then costs one Pow
+// instead of two. Draws are bit-identical to Rng.Zipf with the same
+// arguments: every cached term is produced by the exact expression the
+// per-call path evaluates.
+type ZipfGen struct {
+	n        int
+	s        float64
+	oneMinus float64 // 1 - s
+	hn       float64 // (n^(1-s) - 1) / (1-s), unused when s == 1
+	inv      float64 // 1 / (1-s), unused when s == 1
+}
+
+// NewZipfGen precomputes the draw constants for ranks [0, n) at skew s.
+func NewZipfGen(n int, s float64) *ZipfGen {
+	z := &ZipfGen{n: n, s: s}
+	if n > 1 && s != 1 {
+		z.oneMinus = 1 - s
+		z.hn = (math.Pow(float64(n), z.oneMinus) - 1) / z.oneMinus
+		z.inv = 1 / z.oneMinus
+	}
+	return z
+}
+
+// Draw advances r's stream by one value, exactly as Rng.Zipf does.
+func (z *ZipfGen) Draw(r *Rng) int {
+	if z.n <= 1 {
+		return 0
+	}
+	u := r.Float64()
+	var x float64
+	if z.s == 1 {
+		x = math.Pow(float64(z.n), u)
+	} else {
+		x = math.Pow(u*z.hn*z.oneMinus+1, z.inv)
+	}
+	k := int(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= z.n {
+		k = z.n - 1
 	}
 	return k
 }

@@ -61,7 +61,9 @@ type Generator struct {
 	primaryBlocks int
 	secondBlocks  int
 	sharedBlocks  int
-	streamNext    uint64 // next block of the no-reuse dataset scan
+	zipfPrimary   *stats.ZipfGen // skewed rank draws over the primary set
+	zipfSecondary *stats.ZipfGen // ... and the secondary set
+	streamNext    uint64         // next block of the no-reuse dataset scan
 
 	core uint64 // region offsets
 }
@@ -128,6 +130,8 @@ func New(cfg Config, coreID int, seed uint64) (*Generator, error) {
 	if g.hotBlocks > g.instrBlocks {
 		g.hotBlocks = g.instrBlocks
 	}
+	g.zipfPrimary = stats.NewZipfGen(g.primaryBlocks, 0.6)
+	g.zipfSecondary = stats.NewZipfGen(g.secondBlocks, 0.4)
 	return g, nil
 }
 
@@ -229,14 +233,14 @@ func (g *Generator) NextData() (Access, bool) {
 	switch {
 	case u < g.pPrimary:
 		// Primary working set: Zipf-skewed for realistic L1 residency.
-		b := uint64(g.rng.Zipf(g.primaryBlocks, 0.6))
+		b := uint64(g.zipfPrimary.Draw(g.rng))
 		return Access{Block: privateBase + g.core*coreStride + b, IsWrite: write}, true
 	case u < g.pPrimary+g.pSecondary:
 		// The secondary working set (indexes, OS structures, session
 		// tables) is read-mostly and shared by all cores serving the
 		// same application, so it is LLC-resident like the instruction
 		// footprint (Section 3.2.2).
-		b := uint64(g.rng.Zipf(g.secondBlocks, 0.4))
+		b := uint64(g.zipfSecondary.Draw(g.rng))
 		return Access{Block: secondaryBase + b}, true
 	case u < g.pPrimary+g.pSecondary+g.pShared:
 		b := uint64(g.rng.Intn(g.sharedBlocks))
