@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"scaleout/internal/exp"
@@ -56,10 +57,23 @@ func timeRuns(iters int, f func() error) (time.Duration, error) {
 }
 
 // runBench measures every benchmark point on both kernels and writes
-// the report to path.
-func runBench(path string, iters, workers int) error {
+// the report to path. A non-empty cpuProfile path wraps the whole
+// measurement in a CPU profile, so a throughput regression caught by
+// CI's smoke floors is diagnosable straight from the build artifacts.
+func runBench(path string, iters, workers int, cpuProfile string) error {
 	if iters < 1 {
 		iters = 1
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	ws := workload.Suite()
 	simPoints := []struct {
@@ -122,21 +136,36 @@ func runBench(path string, iters, workers int) error {
 		report.Points = append(report.Points, p)
 	}
 
-	// One structural point: the emergent-cache mode has its own hot path
-	// (trace generation, real tag arrays).
-	scfg := sim.StructuralConfig{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4}
-	p, err := measure("structural16", func() error {
-		_, err := sim.RunStructural(scfg)
-		return err
-	})
-	if err != nil {
-		return err
+	// Structural points at 16/32/64 cores: the emergent-cache mode has
+	// its own hot path (trace generation, real tag arrays, MSHRs), and
+	// it is where the O(1) cache hierarchy and the machine pool earn
+	// their keep. The 16-core point is the thesis pod; the larger ones
+	// scale the bank count and contention.
+	structPoints := []struct {
+		name string
+		cfg  sim.StructuralConfig
+	}{
+		{"structural16", sim.StructuralConfig{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4}},
+		{"structural32", sim.StructuralConfig{Workload: ws[0], CoreType: tech.OoO, Cores: 32, LLCMB: 8,
+			Net: noc.New(noc.Mesh, 32)}},
+		{"structural64", sim.StructuralConfig{Workload: ws[0], CoreType: tech.OoO, Cores: 64, LLCMB: 8,
+			Net: noc.New(noc.Mesh, 64), MemChannels: 4}},
 	}
-	report.Points = append(report.Points, p)
+	for _, pt := range structPoints {
+		scfg := pt.cfg
+		p, err := measure(pt.name, func() error {
+			_, err := sim.RunStructural(scfg)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		report.Points = append(report.Points, p)
+	}
 
 	// The whole harness: every figure on a fresh engine per run, so the
 	// number includes real simulation work, not memo hits.
-	p, err = measure("runall", func() error {
+	p, err := measure("runall", func() error {
 		ctx := exp.WithEngine(context.Background(), exp.New(workers))
 		_, err := figures.RunAllContext(ctx)
 		return err

@@ -16,10 +16,13 @@
 // once. Output is deterministic — independent of the worker count and
 // of which simulation kernel runs the points.
 //
-// -bench times representative sweep points and the full harness on the
+// -bench times representative sweep points — including structural
+// points at 16/32/64 cores — and the full harness on the
 // event-scheduled kernel and the lock-step reference kernel and records
 // ns/point plus speedups in BENCH_kernel.json (see -bench-out,
-// -bench-iters) — the repo's kernel performance trajectory.
+// -bench-iters) — the repo's kernel performance trajectory. -cpuprofile
+// additionally captures a CPU profile of the whole benchmark run, so a
+// CI smoke failure ships its own diagnosis.
 package main
 
 import (
@@ -44,10 +47,11 @@ func main() {
 	bench := flag.Bool("bench", false, "benchmark the simulation kernels and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_kernel.json", "benchmark report path (with -bench)")
 	benchIters := flag.Int("bench-iters", 5, "measured iterations per benchmark point (with -bench)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (with -bench)")
 	flag.Parse()
 
 	if *bench {
-		if err := runBench(*benchOut, *benchIters, *parallel); err != nil {
+		if err := runBench(*benchOut, *benchIters, *parallel, *cpuProfile); err != nil {
 			fail(err)
 		}
 		return

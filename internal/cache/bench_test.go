@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"testing"
+
+	"scaleout/internal/stats"
+)
+
+// Hot-path microbenchmarks, tracked below the harness level so a cache
+// regression names itself before it shows up as a structural-simulator
+// slowdown. The LLC geometry (16-way, 1MB bank) matches Table 2.2.
+
+// BenchmarkSetAssocLookupHit measures the hit path — one tag scan plus
+// the O(1) timestamp touch that replaced the seed's recency-rank walk.
+func BenchmarkSetAssocLookupHit(b *testing.B) {
+	c, err := NewSetAssoc(1<<20, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := uint64(c.Sets() * c.Ways())
+	for i := uint64(0); i < lines; i++ {
+		c.Insert(i, false)
+	}
+	rng := stats.NewRng(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Lookup(rng.Uint64() % lines) {
+			b.Fatal("miss in a fully resident set")
+		}
+	}
+}
+
+// BenchmarkSetAssocLookupMiss measures the miss path: a full-set scan
+// that finds nothing.
+func BenchmarkSetAssocLookupMiss(b *testing.B) {
+	c, err := NewSetAssoc(1<<20, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := uint64(c.Sets() * c.Ways())
+	for i := uint64(0); i < lines; i++ {
+		c.Insert(i, false)
+	}
+	rng := stats.NewRng(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(lines + rng.Uint64()%lines) {
+			b.Fatal("hit on an absent block")
+		}
+	}
+}
+
+// BenchmarkSetAssocInsertEvict measures steady-state fills: every
+// insert scans for a match, selects the minimum-stamp victim, and
+// evicts.
+func BenchmarkSetAssocInsertEvict(b *testing.B) {
+	c, err := NewSetAssoc(1<<20, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := uint64(c.Sets() * c.Ways())
+	rng := stats.NewRng(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(rng.Uint64()%(8*lines), rng.Uint64()&1 == 0)
+	}
+}
+
+// BenchmarkMSHR measures the allocate/complete cycle of the dense-array
+// MSHR file at a realistic occupancy.
+func BenchmarkMSHR(b *testing.B) {
+	m, err := NewMSHR(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		m.Allocate(i)
+	}
+	rng := stats.NewRng(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block := 100 + rng.Uint64()%16
+		if primary, ok := m.Allocate(block); ok && primary {
+			m.Complete(block)
+		}
+	}
+}
+
+// BenchmarkVictimInsertSpill measures the fixed-array victim cache in
+// its steady spilling state, which used to reallocate per spill.
+func BenchmarkVictimInsertSpill(b *testing.B) {
+	v, err := NewVictim(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRng(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Insert(rng.Uint64()%64, rng.Uint64()&1 == 0)
+	}
+}

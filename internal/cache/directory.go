@@ -173,6 +173,14 @@ func (d *Directory) SnoopRate() float64 {
 // TrackedBlocks returns the number of blocks with at least one sharer.
 func (d *Directory) TrackedBlocks() int { return len(d.entries) }
 
+// Reset drops all coherence state and statistics, restoring the
+// just-constructed directory while reusing its map's storage. Machine
+// pools call it when recycling a machine for a new sweep point.
+func (d *Directory) Reset() {
+	clear(d.entries)
+	d.ResetStats()
+}
+
 // ResetStats zeroes every stat counter, leaving the coherence state
 // (tracked blocks, sharers, owners) intact — what a simulator does at
 // its warmup/measure boundary.

@@ -5,9 +5,17 @@ import "fmt"
 // MSHR is a miss-status holding register file: it bounds the number of
 // outstanding misses a cache can sustain and merges requests to a block
 // that already has a miss in flight (secondary misses).
+//
+// Entries are dense parallel arrays scanned linearly — the file holds at
+// most a few dozen entries (Table 2.2: 64), usually far fewer, so a scan
+// over the live prefix beats the map the seed implementation used: no
+// hashing, no allocation on the structural simulator's miss path, and
+// the scan reads one or two contiguous cache lines.
 type MSHR struct {
 	capacity int
-	inflight map[uint64]int // block -> merged request count
+	blocks   []uint64 // live entries in [0, n); order is insignificant
+	merged   []int    // request count per live entry
+	n        int
 }
 
 // NewMSHR builds an MSHR file with the given number of entries.
@@ -15,31 +23,50 @@ func NewMSHR(entries int) (*MSHR, error) {
 	if entries <= 0 {
 		return nil, fmt.Errorf("cache: MSHR with %d entries", entries)
 	}
-	return &MSHR{capacity: entries, inflight: make(map[uint64]int, entries)}, nil
+	return &MSHR{
+		capacity: entries,
+		blocks:   make([]uint64, entries),
+		merged:   make([]int, entries),
+	}, nil
 }
 
 // Capacity returns the total number of entries.
 func (m *MSHR) Capacity() int { return m.capacity }
 
 // Inflight returns the number of occupied entries.
-func (m *MSHR) Inflight() int { return len(m.inflight) }
+func (m *MSHR) Inflight() int { return m.n }
 
 // Full reports whether a new primary miss would be rejected.
-func (m *MSHR) Full() bool { return len(m.inflight) >= m.capacity }
+func (m *MSHR) Full() bool { return m.n >= m.capacity }
+
+// Reset releases every entry, reusing the arrays.
+func (m *MSHR) Reset() { m.n = 0 }
+
+// find returns the live index of block, or -1.
+func (m *MSHR) find(block uint64) int {
+	for i, b := range m.blocks[:m.n] {
+		if b == block {
+			return i
+		}
+	}
+	return -1
+}
 
 // Allocate registers a miss for the block. It returns primary=true if
 // this is a new entry, primary=false if merged into an existing one, and
 // ok=false if the file is full and the block has no entry (the requester
 // must stall).
 func (m *MSHR) Allocate(block uint64) (primary, ok bool) {
-	if n, exists := m.inflight[block]; exists {
-		m.inflight[block] = n + 1
+	if i := m.find(block); i >= 0 {
+		m.merged[i]++
 		return false, true
 	}
 	if m.Full() {
 		return false, false
 	}
-	m.inflight[block] = 1
+	m.blocks[m.n] = block
+	m.merged[m.n] = 1
+	m.n++
 	return true, true
 }
 
@@ -47,13 +74,16 @@ func (m *MSHR) Allocate(block uint64) (primary, ok bool) {
 // reporting how many merged requests it satisfied (0 if the block had no
 // entry).
 func (m *MSHR) Complete(block uint64) int {
-	n := m.inflight[block]
-	delete(m.inflight, block)
+	i := m.find(block)
+	if i < 0 {
+		return 0
+	}
+	n := m.merged[i]
+	m.n--
+	m.blocks[i] = m.blocks[m.n]
+	m.merged[i] = m.merged[m.n]
 	return n
 }
 
 // Pending reports whether the block has a miss in flight.
-func (m *MSHR) Pending(block uint64) bool {
-	_, ok := m.inflight[block]
-	return ok
-}
+func (m *MSHR) Pending(block uint64) bool { return m.find(block) >= 0 }

@@ -19,14 +19,29 @@ func (a Addr) Block() uint64 { return uint64(a) / LineBytes }
 // SetAssoc is a set-associative tag array with true-LRU replacement.
 // It tracks presence and dirtiness only; data payloads are immaterial to
 // timing simulation.
+//
+// Replacement state is timestamp-LRU: every line carries the value of a
+// per-cache monotonic counter at its last touch, so promoting a line to
+// MRU — the operation the structural simulator performs on every hit —
+// is a single store instead of the recency-rank walk the seed
+// implementation did over all ways. The O(ways) work moves to the victim
+// scan, which runs only on misses. Eviction decisions are identical to
+// rank-based true LRU: touches are strictly ordered by the counter, so
+// the minimum stamp in a set is exactly the least recently used way (the
+// randomized differential test in setassoc_ref_test.go drives both
+// implementations through millions of operations to prove it).
+//
+// Line metadata is a struct of arrays — tags, stamps, and a dirty bitmap
+// in separate contiguous slices — so the tag scan of a 16-way LLC set
+// touches two cache lines instead of sixteen interleaved structs.
 type SetAssoc struct {
 	sets  int
 	ways  int
 	tags  []uint64 // sets*ways entries; 0 means invalid
-	dirty []bool
-	// lru[i] holds the recency rank of way i within its set: lower is
-	// more recently used.
-	lru []uint8
+	stamp []uint64 // counter value at the line's last touch
+	dirty []uint64 // one bit per line, indexed like tags
+	tick  uint64   // strictly increasing touch counter
+	occ   int      // live count of valid lines
 }
 
 // NewSetAssoc builds a cache of the given capacity in bytes. Capacity
@@ -47,21 +62,13 @@ func NewSetAssoc(capacityBytes, ways int) (*SetAssoc, error) {
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache: set count %d is not a power of two", sets)
 	}
-	c := &SetAssoc{
+	return &SetAssoc{
 		sets:  sets,
 		ways:  ways,
 		tags:  make([]uint64, sets*ways),
-		dirty: make([]bool, sets*ways),
-		lru:   make([]uint8, sets*ways),
-	}
-	// Each set starts with a valid recency permutation 0..ways-1 so that
-	// touch() preserves the permutation invariant from the first access.
-	for s := 0; s < sets; s++ {
-		for w := 0; w < ways; w++ {
-			c.lru[s*ways+w] = uint8(w)
-		}
-	}
-	return c, nil
+		stamp: make([]uint64, sets*ways),
+		dirty: make([]uint64, (sets*ways+63)/64),
+	}, nil
 }
 
 // Sets returns the number of sets.
@@ -73,24 +80,50 @@ func (c *SetAssoc) Ways() int { return c.ways }
 // CapacityBytes returns the cache capacity.
 func (c *SetAssoc) CapacityBytes() int { return c.sets * c.ways * LineBytes }
 
+// Reset restores the just-constructed state — every line invalid and
+// clean, the touch counter at zero — reusing the existing arrays. Machine
+// pools (internal/sim) call it to recycle multi-MB LLC arrays across
+// sweep points.
+func (c *SetAssoc) Reset() {
+	clear(c.tags)
+	clear(c.stamp)
+	clear(c.dirty)
+	c.tick = 0
+	c.occ = 0
+}
+
+// CopyStateFrom makes c's contents — tags, recency stamps, dirty bits,
+// occupancy, and the touch counter — identical to src's, reusing c's
+// arrays. Both caches must share a geometry. Machine pools use it to
+// restore a memoized warm-start image instead of replaying the fill.
+func (c *SetAssoc) CopyStateFrom(src *SetAssoc) {
+	if c.sets != src.sets || c.ways != src.ways {
+		panic(fmt.Sprintf("cache: CopyStateFrom geometry mismatch: %dx%d vs %dx%d",
+			c.sets, c.ways, src.sets, src.ways))
+	}
+	copy(c.tags, src.tags)
+	copy(c.stamp, src.stamp)
+	copy(c.dirty, src.dirty)
+	c.tick = src.tick
+	c.occ = src.occ
+}
+
 func (c *SetAssoc) setOf(block uint64) int { return int(block & uint64(c.sets-1)) }
 
 // tagOf stores block+1 so that tag 0 can mean "invalid".
 func tagOf(block uint64) uint64 { return block + 1 }
 
-// touch promotes way w of set s to most-recently-used. The set is
-// sliced up front so the recency loop — the hottest loop in the
-// structural simulator — runs without bounds checks.
-func (c *SetAssoc) touch(s, w int) {
-	lru := c.lru[s*c.ways : s*c.ways+c.ways]
-	old := lru[w]
-	for i, r := range lru {
-		if r < old {
-			lru[i] = r + 1
-		}
-	}
-	lru[w] = 0
+// touch promotes line idx to most-recently-used: one store of the next
+// counter value. Counter values are assigned strictly increasingly, so
+// within any set the stamps order valid lines exactly by recency.
+func (c *SetAssoc) touch(idx int) {
+	c.tick++
+	c.stamp[idx] = c.tick
 }
+
+func (c *SetAssoc) isDirty(idx int) bool { return c.dirty[idx>>6]&(1<<(idx&63)) != 0 }
+func (c *SetAssoc) setDirty(idx int)     { c.dirty[idx>>6] |= 1 << (idx & 63) }
+func (c *SetAssoc) clearDirty(idx int)   { c.dirty[idx>>6] &^= 1 << (idx & 63) }
 
 // Lookup probes the cache. If the block is present it is promoted to MRU
 // and hit is true.
@@ -100,7 +133,27 @@ func (c *SetAssoc) Lookup(block uint64) (hit bool) {
 	t := tagOf(block)
 	for w, tag := range c.tags[base : base+c.ways] {
 		if tag == t {
-			c.touch(s, w)
+			c.touch(base + w)
+			return true
+		}
+	}
+	return false
+}
+
+// Access probes like Lookup and additionally sets the dirty bit when a
+// write hits — one tag scan where the Lookup-then-MarkDirty sequence
+// the simulator's store path used to issue cost two.
+func (c *SetAssoc) Access(block uint64, write bool) (hit bool) {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == t {
+			idx := base + w
+			c.touch(idx)
+			if write {
+				c.setDirty(idx)
+			}
 			return true
 		}
 	}
@@ -112,8 +165,8 @@ func (c *SetAssoc) Contains(block uint64) bool {
 	s := c.setOf(block)
 	base := s * c.ways
 	t := tagOf(block)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == t {
+	for _, tag := range c.tags[base : base+c.ways] {
+		if tag == t {
 			return true
 		}
 	}
@@ -134,35 +187,49 @@ func (c *SetAssoc) Insert(block uint64, dirty bool) (ev Eviction, evicted bool) 
 	base := s * c.ways
 	t := tagOf(block)
 	tags := c.tags[base : base+c.ways]
-	// Full match scan first: the block may be resident in any way.
+	stamps := c.stamp[base : base+c.ways] // sliced with tags for BCE
+	// One pass finds a resident match, the first invalid way, and the
+	// minimum-stamp way. The match must win over everything (the block
+	// may sit in any way), then the first invalid way, then the least
+	// recently touched — the same victim the recency-rank walk chose.
+	firstInvalid := -1
+	lru := 0
+	var lruStamp uint64 = ^uint64(0)
 	for w, tag := range tags {
 		if tag == t {
-			c.touch(s, w)
+			c.touch(base + w)
 			if dirty {
-				c.dirty[base+w] = true
+				c.setDirty(base + w)
 			}
 			return Eviction{}, false
 		}
-	}
-	// Victim selection: an invalid way if one exists, else true LRU.
-	lru := c.lru[base : base+c.ways]
-	victim := 0
-	for w, tag := range tags {
 		if tag == 0 {
-			victim = w
-			break
-		}
-		if lru[w] > lru[victim] {
-			victim = w
+			if firstInvalid < 0 {
+				firstInvalid = w
+			}
+		} else if s := stamps[w]; s < lruStamp {
+			lruStamp = s
+			lru = w
 		}
 	}
-	if c.tags[base+victim] != 0 {
-		ev = Eviction{Block: c.tags[base+victim] - 1, Dirty: c.dirty[base+victim]}
+	victim := firstInvalid
+	if victim < 0 {
+		victim = lru
+	}
+	idx := base + victim
+	if c.tags[idx] != 0 {
+		ev = Eviction{Block: c.tags[idx] - 1, Dirty: c.isDirty(idx)}
 		evicted = true
+	} else {
+		c.occ++
 	}
-	c.tags[base+victim] = t
-	c.dirty[base+victim] = dirty
-	c.touch(s, victim)
+	c.tags[idx] = t
+	if dirty {
+		c.setDirty(idx)
+	} else {
+		c.clearDirty(idx)
+	}
+	c.touch(idx)
 	return ev, evicted
 }
 
@@ -172,9 +239,9 @@ func (c *SetAssoc) MarkDirty(block uint64) bool {
 	s := c.setOf(block)
 	base := s * c.ways
 	t := tagOf(block)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == t {
-			c.dirty[base+w] = true
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == t {
+			c.setDirty(base + w)
 			return true
 		}
 	}
@@ -186,24 +253,20 @@ func (c *SetAssoc) Invalidate(block uint64) (present, dirty bool) {
 	s := c.setOf(block)
 	base := s * c.ways
 	t := tagOf(block)
-	for w := 0; w < c.ways; w++ {
-		if c.tags[base+w] == t {
-			present, dirty = true, c.dirty[base+w]
-			c.tags[base+w] = 0
-			c.dirty[base+w] = false
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == t {
+			idx := base + w
+			present, dirty = true, c.isDirty(idx)
+			c.tags[idx] = 0
+			c.clearDirty(idx)
+			c.occ--
 			return present, dirty
 		}
 	}
 	return false, false
 }
 
-// Occupancy returns the number of valid lines.
-func (c *SetAssoc) Occupancy() int {
-	n := 0
-	for _, t := range c.tags {
-		if t != 0 {
-			n++
-		}
-	}
-	return n
-}
+// Occupancy returns the number of valid lines. The count is maintained
+// live by Insert and Invalidate, so sweeps can poll it without the
+// O(lines) tag scan the seed implementation performed.
+func (c *SetAssoc) Occupancy() int { return c.occ }

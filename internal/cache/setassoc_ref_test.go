@@ -1,0 +1,297 @@
+package cache
+
+import (
+	"testing"
+
+	"scaleout/internal/stats"
+)
+
+// refSetAssoc is the seed's recency-rank LRU implementation, retained
+// verbatim as the behavioural reference for TestSetAssocMatchesReference:
+// every way holds its recency rank within the set and a touch walks all
+// of them. The production SetAssoc replaced the walk with timestamp-LRU;
+// the differential test below proves the two make identical hit and
+// eviction decisions under millions of mixed operations.
+type refSetAssoc struct {
+	sets  int
+	ways  int
+	tags  []uint64
+	dirty []bool
+	lru   []uint8 // recency rank of way i within its set; lower is MRU
+}
+
+func newRefSetAssoc(capacityBytes, ways int) *refSetAssoc {
+	lines := capacityBytes / LineBytes
+	sets := lines / ways
+	c := &refSetAssoc{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]uint64, sets*ways),
+		dirty: make([]bool, sets*ways),
+		lru:   make([]uint8, sets*ways),
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			c.lru[s*ways+w] = uint8(w)
+		}
+	}
+	return c
+}
+
+func (c *refSetAssoc) setOf(block uint64) int { return int(block & uint64(c.sets-1)) }
+
+func (c *refSetAssoc) touch(s, w int) {
+	lru := c.lru[s*c.ways : s*c.ways+c.ways]
+	old := lru[w]
+	for i, r := range lru {
+		if r < old {
+			lru[i] = r + 1
+		}
+	}
+	lru[w] = 0
+}
+
+func (c *refSetAssoc) Lookup(block uint64) bool {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == t {
+			c.touch(s, w)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refSetAssoc) Insert(block uint64, dirty bool) (ev Eviction, evicted bool) {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	tags := c.tags[base : base+c.ways]
+	for w, tag := range tags {
+		if tag == t {
+			c.touch(s, w)
+			if dirty {
+				c.dirty[base+w] = true
+			}
+			return Eviction{}, false
+		}
+	}
+	lru := c.lru[base : base+c.ways]
+	victim := 0
+	for w, tag := range tags {
+		if tag == 0 {
+			victim = w
+			break
+		}
+		if lru[w] > lru[victim] {
+			victim = w
+		}
+	}
+	if c.tags[base+victim] != 0 {
+		ev = Eviction{Block: c.tags[base+victim] - 1, Dirty: c.dirty[base+victim]}
+		evicted = true
+	}
+	c.tags[base+victim] = t
+	c.dirty[base+victim] = dirty
+	c.touch(s, victim)
+	return ev, evicted
+}
+
+func (c *refSetAssoc) MarkDirty(block uint64) bool {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == t {
+			c.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}
+
+func (c *refSetAssoc) Invalidate(block uint64) (present, dirty bool) {
+	s := c.setOf(block)
+	base := s * c.ways
+	t := tagOf(block)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == t {
+			present, dirty = true, c.dirty[base+w]
+			c.tags[base+w] = 0
+			c.dirty[base+w] = false
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+func (c *refSetAssoc) Occupancy() int {
+	n := 0
+	for _, t := range c.tags {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSetAssocMatchesReference drives the timestamp-LRU SetAssoc and the
+// seed's recency-rank reference through the same randomized stream of
+// mixed operations and asserts every observable — hits, evictions and
+// their dirtiness, invalidation results, occupancy — is identical. Block
+// draws are confined to a few sets' worth of conflicting addresses so
+// every set cycles through fill, eviction, and re-reference many times.
+func TestSetAssocMatchesReference(t *testing.T) {
+	geometries := []struct {
+		capacity, ways int
+	}{
+		{2 * 64, 2},       // one 2-way set: maximal conflict pressure
+		{4 * 4 * 64, 4},   // 4 sets x 4 ways
+		{16 * 64, 16},     // one 16-way set: the LLC's associativity
+		{8 * 16 * 64, 16}, // 8 sets x 16 ways
+		{128 * 1 * 64, 1}, // direct-mapped
+		{64 * 8 * 64, 8},  // L1-like
+	}
+	ops := 600000
+	if testing.Short() {
+		ops = 60000
+	}
+	for _, g := range geometries {
+		got := mustCache(t, g.capacity, g.ways)
+		want := newRefSetAssoc(g.capacity, g.ways)
+		rng := stats.NewRng(uint64(g.capacity)*31 + uint64(g.ways))
+		// 4x the cache's line count of distinct blocks keeps sets
+		// oversubscribed without making hits vanishingly rare.
+		blockSpace := uint64(4 * g.capacity / LineBytes)
+		for i := 0; i < ops; i++ {
+			block := rng.Uint64() % blockSpace
+			switch op := rng.Intn(100); {
+			case op < 45:
+				if gh, wh := got.Lookup(block), want.Lookup(block); gh != wh {
+					t.Fatalf("%d-way/%dB op %d: Lookup(%d) = %v, reference %v",
+						g.ways, g.capacity, i, block, gh, wh)
+				}
+			case op < 80:
+				dirty := rng.Intn(2) == 0
+				gev, gok := got.Insert(block, dirty)
+				wev, wok := want.Insert(block, dirty)
+				if gok != wok || gev != wev {
+					t.Fatalf("%d-way/%dB op %d: Insert(%d, %v) = (%+v, %v), reference (%+v, %v)",
+						g.ways, g.capacity, i, block, dirty, gev, gok, wev, wok)
+				}
+			case op < 85:
+				gp, gd := got.Invalidate(block)
+				wp, wd := want.Invalidate(block)
+				if gp != wp || gd != wd {
+					t.Fatalf("%d-way/%dB op %d: Invalidate(%d) = (%v, %v), reference (%v, %v)",
+						g.ways, g.capacity, i, block, gp, gd, wp, wd)
+				}
+			case op < 92:
+				// Access(write) must behave exactly like the seed's
+				// Lookup-then-MarkDirty store path.
+				write := rng.Intn(2) == 0
+				gh := got.Access(block, write)
+				wh := want.Lookup(block)
+				if wh && write {
+					want.MarkDirty(block)
+				}
+				if gh != wh {
+					t.Fatalf("%d-way/%dB op %d: Access(%d, %v) = %v, reference %v",
+						g.ways, g.capacity, i, block, write, gh, wh)
+				}
+			default:
+				if gm, wm := got.MarkDirty(block), want.MarkDirty(block); gm != wm {
+					t.Fatalf("%d-way/%dB op %d: MarkDirty(%d) = %v, reference %v",
+						g.ways, g.capacity, i, block, gm, wm)
+				}
+			}
+			if i%1024 == 0 {
+				if go_, wo := got.Occupancy(), want.Occupancy(); go_ != wo {
+					t.Fatalf("%d-way/%dB op %d: Occupancy %d, reference %d",
+						g.ways, g.capacity, i, go_, wo)
+				}
+			}
+		}
+	}
+}
+
+// refVictim is the seed's slice-shuffling victim cache, kept as the
+// reference for TestVictimMatchesReference.
+type refVictim struct {
+	capacity int
+	blocks   []uint64
+	dirty    []bool
+}
+
+func (v *refVictim) Probe(block uint64) (hit, dirty bool) {
+	for i, b := range v.blocks {
+		if b == block {
+			dirty = v.dirty[i]
+			v.blocks = append(v.blocks[:i], v.blocks[i+1:]...)
+			v.dirty = append(v.dirty[:i], v.dirty[i+1:]...)
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+func (v *refVictim) Insert(block uint64, dirty bool) (spill Eviction, spilled bool) {
+	for i, b := range v.blocks {
+		if b == block {
+			d := v.dirty[i] || dirty
+			v.blocks = append(v.blocks[:i], v.blocks[i+1:]...)
+			v.dirty = append(v.dirty[:i], v.dirty[i+1:]...)
+			v.blocks = append(v.blocks, block)
+			v.dirty = append(v.dirty, d)
+			return Eviction{}, false
+		}
+	}
+	if len(v.blocks) >= v.capacity {
+		spill = Eviction{Block: v.blocks[0], Dirty: v.dirty[0]}
+		spilled = true
+		v.blocks = v.blocks[1:]
+		v.dirty = v.dirty[1:]
+	}
+	v.blocks = append(v.blocks, block)
+	v.dirty = append(v.dirty, dirty)
+	return spill, spilled
+}
+
+// TestVictimMatchesReference drives the fixed-array victim cache and the
+// seed's LRU-ordered-slice reference through the same randomized probe
+// and insert stream, asserting identical hits, dirtiness, and spills.
+func TestVictimMatchesReference(t *testing.T) {
+	got, err := NewVictim(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &refVictim{capacity: 16}
+	rng := stats.NewRng(7)
+	ops := 300000
+	if testing.Short() {
+		ops = 30000
+	}
+	for i := 0; i < ops; i++ {
+		block := rng.Uint64() % 48 // 3x capacity keeps it spilling
+		if rng.Intn(2) == 0 {
+			gh, gd := got.Probe(block)
+			wh, wd := want.Probe(block)
+			if gh != wh || gd != wd {
+				t.Fatalf("op %d: Probe(%d) = (%v, %v), reference (%v, %v)", i, block, gh, gd, wh, wd)
+			}
+		} else {
+			dirty := rng.Intn(3) == 0
+			gs, gok := got.Insert(block, dirty)
+			ws, wok := want.Insert(block, dirty)
+			if gok != wok || gs != ws {
+				t.Fatalf("op %d: Insert(%d, %v) = (%+v, %v), reference (%+v, %v)",
+					i, block, dirty, gs, gok, ws, wok)
+			}
+		}
+		if got.Len() != len(want.blocks) {
+			t.Fatalf("op %d: Len %d, reference %d", i, got.Len(), len(want.blocks))
+		}
+	}
+}

@@ -5,10 +5,20 @@ import "fmt"
 // Victim is the small fully associative victim cache that backs each LLC
 // bank (Table 2.2: 16 entries): blocks evicted from the main array get a
 // second chance, converting a fraction of conflict misses back into hits.
+//
+// Entries live in fixed arrays with timestamp-LRU recency, like SetAssoc:
+// the seed implementation kept a slice in LRU order and re-sliced on
+// every spill, which forced an allocation per spill once the cache filled
+// — on the structural simulator's miss path. Here a probe hit clears the
+// entry in place, an insert refreshes a stamp, and a spill overwrites the
+// minimum-stamp entry; nothing allocates after construction.
 type Victim struct {
 	capacity int
-	blocks   []uint64 // LRU order: index 0 is the least recently used
+	tags     []uint64 // block+1; 0 means empty
 	dirty    []bool
+	stamp    []uint64 // counter value at last insert or refresh
+	tick     uint64
+	occ      int
 
 	Hits   uint64
 	Probes uint64
@@ -21,8 +31,9 @@ func NewVictim(entries int) (*Victim, error) {
 	}
 	return &Victim{
 		capacity: entries,
-		blocks:   make([]uint64, 0, entries),
-		dirty:    make([]bool, 0, entries),
+		tags:     make([]uint64, entries),
+		dirty:    make([]bool, entries),
+		stamp:    make([]uint64, entries),
 	}, nil
 }
 
@@ -30,46 +41,88 @@ func NewVictim(entries int) (*Victim, error) {
 func (v *Victim) Capacity() int { return v.capacity }
 
 // Len returns the number of occupied entries.
-func (v *Victim) Len() int { return len(v.blocks) }
+func (v *Victim) Len() int { return v.occ }
+
+// Reset restores the just-constructed state, reusing the arrays.
+func (v *Victim) Reset() {
+	clear(v.tags)
+	clear(v.dirty)
+	clear(v.stamp)
+	v.tick = 0
+	v.occ = 0
+	v.Hits = 0
+	v.Probes = 0
+}
+
+// CopyStateFrom makes v's contents and statistics identical to src's,
+// reusing v's arrays. Both caches must share a capacity.
+func (v *Victim) CopyStateFrom(src *Victim) {
+	if v.capacity != src.capacity {
+		panic(fmt.Sprintf("cache: CopyStateFrom capacity mismatch: %d vs %d", v.capacity, src.capacity))
+	}
+	copy(v.tags, src.tags)
+	copy(v.dirty, src.dirty)
+	copy(v.stamp, src.stamp)
+	v.tick = src.tick
+	v.occ = src.occ
+	v.Hits = src.Hits
+	v.Probes = src.Probes
+}
 
 // Probe checks for the block; on a hit the entry is removed (the block
 // moves back into the main array) and its dirtiness returned.
 func (v *Victim) Probe(block uint64) (hit, dirty bool) {
 	v.Probes++
-	for i, b := range v.blocks {
-		if b == block {
+	t := tagOf(block)
+	for i, tag := range v.tags {
+		if tag == t {
 			v.Hits++
 			dirty = v.dirty[i]
-			v.blocks = append(v.blocks[:i], v.blocks[i+1:]...)
-			v.dirty = append(v.dirty[:i], v.dirty[i+1:]...)
+			v.tags[i] = 0
+			v.dirty[i] = false
+			v.occ--
 			return true, dirty
 		}
 	}
 	return false, false
 }
 
-// Insert stores an evicted block. If the victim cache is full, the LRU
-// entry spills; it is returned so the caller can write it back if dirty.
+// Insert stores an evicted block. If the victim cache is full, the least
+// recently inserted entry spills; it is returned so the caller can write
+// it back if dirty.
 func (v *Victim) Insert(block uint64, dirty bool) (spill Eviction, spilled bool) {
-	// Duplicate insert refreshes recency and dirtiness.
-	for i, b := range v.blocks {
-		if b == block {
-			d := v.dirty[i] || dirty
-			v.blocks = append(v.blocks[:i], v.blocks[i+1:]...)
-			v.dirty = append(v.dirty[:i], v.dirty[i+1:]...)
-			v.blocks = append(v.blocks, block)
-			v.dirty = append(v.dirty, d)
+	t := tagOf(block)
+	// Duplicate insert refreshes recency and accumulates dirtiness.
+	for i, tag := range v.tags {
+		if tag == t {
+			v.dirty[i] = v.dirty[i] || dirty
+			v.tick++
+			v.stamp[i] = v.tick
 			return Eviction{}, false
 		}
 	}
-	if len(v.blocks) >= v.capacity {
-		spill = Eviction{Block: v.blocks[0], Dirty: v.dirty[0]}
-		spilled = true
-		v.blocks = v.blocks[1:]
-		v.dirty = v.dirty[1:]
+	// Slot selection: the first empty entry if one exists, else the
+	// minimum-stamp entry, which spills.
+	slot := 0
+	for i, tag := range v.tags {
+		if tag == 0 {
+			slot = i
+			break
+		}
+		if v.stamp[i] < v.stamp[slot] {
+			slot = i
+		}
 	}
-	v.blocks = append(v.blocks, block)
-	v.dirty = append(v.dirty, dirty)
+	if v.tags[slot] != 0 {
+		spill = Eviction{Block: v.tags[slot] - 1, Dirty: v.dirty[slot]}
+		spilled = true
+	} else {
+		v.occ++
+	}
+	v.tags[slot] = t
+	v.dirty[slot] = dirty
+	v.tick++
+	v.stamp[slot] = v.tick
 	return spill, spilled
 }
 

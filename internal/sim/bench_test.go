@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// BenchmarkStructMiss measures the structural L1-miss service path in
+// isolation — MSHR allocate, LLC bank lookup, victim-cache probe, bank
+// and channel timing, pending bookkeeping — the code an L1 miss executes
+// inside stepActive. The machine is built once; the measured loop
+// replays misses over a spread of blocks with periodic retirement so the
+// MSHR file cycles through realistic occupancies.
+func BenchmarkStructMiss(b *testing.B) {
+	cfg := StructuralConfig{
+		Workload: workload.Suite()[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4,
+	}
+	if err := cfg.applyDefaults(); err != nil {
+		b.Fatal(err)
+	}
+	m, err := newStructMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := &m.cores[0]
+	gen := c.gen
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !gen.WantData() {
+			continue
+		}
+		acc := gen.DataAccess()
+		if _, stalled := m.structMiss(0, c, acc); stalled {
+			// Retire everything outstanding — every pending entry, so
+			// no MSHR slot leaks — and advance time so the next misses
+			// allocate freely.
+			m.now = c.pendingMin + 1
+			for _, p := range c.pending {
+				c.mshr.Complete(p.block)
+			}
+			c.pending = c.pending[:0]
+			c.pendingMin = noCompletion
+		}
+	}
+}
+
+// BenchmarkStructuralPooled/Fresh track the machine pool's contribution:
+// the same sweep point run through recycled machines vs a fresh
+// construction (multi-MB LLC arrays, L1s, wheel) per run.
+func benchStructural16(b *testing.B, pooled bool) {
+	b.Helper()
+	cfg := StructuralConfig{
+		Workload: workload.Suite()[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4,
+	}
+	UseMachinePool(pooled)
+	defer UseMachinePool(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunStructural(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructuralPooled(b *testing.B) { benchStructural16(b, true) }
+func BenchmarkStructuralFresh(b *testing.B)  { benchStructural16(b, false) }

@@ -70,21 +70,70 @@ type coreModel interface {
 // coreState is the per-core execution state the kernel schedules on.
 // Models embed or hold it alongside their own structures.
 type coreState struct {
-	rng          *stats.Rng
+	rng          stats.Rng
 	credit       float64 // fractional issue budget from the base IPC
 	stallDebt    float64 // exposed LLC-hit latency still to drain
 	blockedUntil int64   // front-end or blocking-load stall
 	slotDone     []int64 // completion cycles of outstanding off-chip loads
+	slotMin      int64   // min(slotDone), noCompletion when empty
 	privateSeq   uint64  // streaming pointer into the core's private data
 }
+
+// noCompletion is the sentinel "nothing outstanding" completion cycle:
+// retirement scans are skipped entirely while the earliest completion
+// (slotMin, pendingMin) is still in the future, which is most active
+// cycles.
+const noCompletion = int64(1)<<62 - 1
 
 // newCoreState builds core i's initial state: a deterministic per-core
 // RNG stream and an MLP window of the given depth.
 func newCoreState(seed uint64, i int, slots int) coreState {
 	return coreState{
-		rng:      stats.NewRng(seed + uint64(i)*0x9E3779B97F4A7C15),
+		rng:      *stats.NewRng(seed + uint64(i)*0x9E3779B97F4A7C15),
 		slotDone: make([]int64, 0, slots),
+		slotMin:  noCompletion,
 	}
+}
+
+// retireSlots drops completed off-chip loads from the MLP window,
+// keeping slotMin in step. The guard makes the common case — nothing
+// due yet — free.
+func (c *coreState) retireSlots(now int64) {
+	if c.slotMin > now {
+		return
+	}
+	live := c.slotDone[:0]
+	earliest := noCompletion
+	for _, done := range c.slotDone {
+		if done > now {
+			live = append(live, done)
+			if done < earliest {
+				earliest = done
+			}
+		}
+	}
+	c.slotDone = live
+	c.slotMin = earliest
+}
+
+// addSlot occupies an MLP slot until done.
+func (c *coreState) addSlot(done int64) {
+	c.slotDone = append(c.slotDone, done)
+	if done < c.slotMin {
+		c.slotMin = done
+	}
+}
+
+// reset restores the state newCoreState(seed, i, ...) would produce,
+// reusing the RNG and the MLP window's backing array.
+func (c *coreState) reset(seed uint64, i int) {
+	c.rng.Reseed(seed + uint64(i)*0x9E3779B97F4A7C15)
+	c.credit = 0
+	c.stallDebt = 0
+	c.blockedUntil = 0
+	c.slotDone = c.slotDone[:0]
+	c.slotMin = noCompletion
+	c.privateSeq = 0
 }
 
 // nextWake returns the next cycle at which the core does work, given it
@@ -193,11 +242,18 @@ func newKernel(cfg Config) (kernel, error) {
 // attach mounts the core model and schedules every core's first wakeup
 // at the current cycle. Core scheduling state is resolved once here —
 // the run loops touch it every event or poll, too hot for an interface
-// call.
+// call. A pooled machine re-attaching with an unchanged core count
+// reuses the wheel's buckets and the state slice in place.
 func (k *kernel) attach(model coreModel) {
 	k.model = model
-	k.states = make([]*coreState, k.cfg.Cores)
-	k.sched = newWakeWheel(k.cfg.Cores)
+	words := (k.cfg.Cores + 63) / 64
+	if len(k.states) == k.cfg.Cores && k.sched.words == words {
+		clear(k.sched.slots)
+		clear(k.sched.wakeAt)
+	} else {
+		k.states = make([]*coreState, k.cfg.Cores)
+		k.sched = newWakeWheel(k.cfg.Cores)
+	}
 	for i := 0; i < k.cfg.Cores; i++ {
 		k.states[i] = model.core(i)
 		k.sched.schedule(i, k.now)
@@ -216,22 +272,37 @@ var lockstepKernel atomic.Bool
 // unmodified workloads. Do not toggle while simulations are running.
 func UseLockstepKernel(on bool) { lockstepKernel.Store(on) }
 
-// simulate runs the warmup and measured windows on the selected kernel.
-func (k *kernel) simulate(warmup, measure int, lockstep bool) {
-	run := k.run
+// simulateOn runs the warmup and measured windows on the selected
+// kernel, with the concrete machine type M devirtualizing the step
+// calls.
+func simulateOn[M coreModel](k *kernel, model M, warmup, measure int, lockstep bool) {
 	if lockstep {
-		run = k.runLockstep
+		runLockstepOn(k, model, warmup)
+		k.resetStats()
+		runLockstepOn(k, model, measure)
+		return
 	}
-	run(warmup)
+	runEvent(k, model, warmup)
 	k.resetStats()
-	run(measure)
+	runEvent(k, model, measure)
 }
 
 // run advances the machine by the given number of cycles on the wakeup
-// schedule. Wakeups past the window stay queued: a core blocked across
-// the warmup/measure boundary resumes at the same cycle the lock-step
-// loop would have resumed it.
-func (k *kernel) run(cycles int) {
+// schedule; see runEvent. (Interface-typed form for tests; simulators
+// call runEvent/runLockstepOn with their concrete type.)
+func (k *kernel) run(cycles int) { runEvent(k, k.model, cycles) }
+
+// runEvent advances the machine by the given number of cycles on the
+// wakeup schedule. Wakeups past the window stay queued: a core blocked
+// across the warmup/measure boundary resumes at the same cycle the
+// lock-step loop would have resumed it.
+//
+// The loop is generic over the concrete machine type so the per-event
+// stepActive call — the hottest indirect call in the simulator —
+// devirtualizes when a machine runs itself (simulators pass their
+// concrete type; the kernel.run wrapper keeps the interface form for
+// tests).
+func runEvent[M coreModel](k *kernel, model M, cycles int) {
 	end := k.now + int64(cycles)
 	w := &k.sched
 	for t := k.now; t < end; t++ {
@@ -256,7 +327,7 @@ func (k *kernel) run(cycles int) {
 					continue
 				}
 				k.now = t
-				k.model.stepActive(core)
+				model.stepActive(core)
 				w.schedule(core, k.states[core].nextWake(t))
 			}
 		}
@@ -264,10 +335,10 @@ func (k *kernel) run(cycles int) {
 	k.now = end
 }
 
-// runLockstep advances the machine with the seed kernel's cycle loop —
+// runLockstepOn advances the machine with the seed kernel's cycle loop —
 // polling every core every cycle — as the behavioural reference for the
 // golden equivalence tests and the benchmark baseline.
-func (k *kernel) runLockstep(cycles int) {
+func runLockstepOn[M coreModel](k *kernel, model M, cycles int) {
 	end := k.now + int64(cycles)
 	for ; k.now < end; k.now++ {
 		for i := 0; i < k.cfg.Cores; i++ {
@@ -279,7 +350,7 @@ func (k *kernel) runLockstep(cycles int) {
 			if k.now < c.blockedUntil {
 				continue
 			}
-			k.model.stepActive(i)
+			model.stepActive(i)
 		}
 	}
 }
@@ -402,14 +473,4 @@ func (k *kernel) dirSnoopPct() float64 {
 		return 0
 	}
 	return 100 * float64(k.dir.SnoopAccesses) / float64(k.llcAccesses)
-}
-
-func minInt64(xs []int64) int64 {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
 }

@@ -183,7 +183,7 @@ func runKernel(cfg Config, lockstep bool) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	m.simulate(cfg.WarmupCycles, cfg.MeasureCycles, lockstep)
+	simulateOn(&m.kernel, m, cfg.WarmupCycles, cfg.MeasureCycles, lockstep)
 	return m.result(), nil
 }
 
@@ -346,26 +346,22 @@ func (m *machine) core(i int) *coreState { return &m.cores[i] }
 func (m *machine) stepActive(i int) {
 	c := &m.cores[i]
 	// Retire completed off-chip loads to free MLP slots.
-	live := c.slotDone[:0]
-	for _, done := range c.slotDone {
-		if done > m.now {
-			live = append(live, done)
-		}
-	}
-	c.slotDone = live
+	c.retireSlots(m.now)
 
-	c.credit += m.cfg.baseIPC
-	for n := 0; c.credit >= 1 && n < m.cfg.width; n++ {
-		c.credit--
-		m.instructions++
+	// Issue budget and instruction count commit once per step; see the
+	// structural stepActive for the rationale.
+	credit := c.credit + m.cfg.baseIPC
+	issued := uint64(0)
+	for n := 0; credit >= 1 && n < m.cfg.width; n++ {
+		credit--
+		issued++
 		u := c.rng.Float64()
 		switch {
 		case u < m.cfg.pInstr:
 			// Instruction fetch from the LLC: the front end stalls for
 			// the full access latency.
-			done := m.access(c, true)
-			c.blockedUntil = done
-			return
+			c.blockedUntil = m.access(c, true)
+			goto commit
 		case u < m.cfg.pAccess:
 			isWrite := false
 			shared := c.rng.Float64() < m.cfg.Workload.SharedFrac
@@ -375,17 +371,17 @@ func (m *machine) stepActive(i int) {
 			done := m.dataAccess(i, c, shared, isWrite)
 			if m.cfg.CoreType == tech.InOrder {
 				c.blockedUntil = done
-				return
+				goto commit
 			}
 			lat := done - m.now
 			if m.isMissLatency(lat) {
 				// Off-chip load: occupy an MLP slot; block when the
 				// window is exhausted.
 				if len(c.slotDone) >= m.cfg.slots {
-					c.blockedUntil = minInt64(c.slotDone)
-					return
+					c.blockedUntil = c.slotMin
+					goto commit
 				}
-				c.slotDone = append(c.slotDone, done)
+				c.addSlot(done)
 			} else {
 				// LLC hit: the out-of-order window hides part of the
 				// latency; the exposed fraction accrues as stall debt.
@@ -393,6 +389,9 @@ func (m *machine) stepActive(i int) {
 			}
 		}
 	}
+commit:
+	c.credit = credit
+	m.instructions += issued
 }
 
 // dataAccess performs a data access, consulting the directory for shared
@@ -426,12 +425,12 @@ func (m *machine) access(c *coreState, isInstr bool) int64 {
 		pMiss = m.cfg.pMissInstr
 	}
 	miss := c.rng.Float64() < pMiss
-	return m.timeAccess(c.rng, miss, false)
+	return m.timeAccess(&c.rng, miss, false)
 }
 
 // accessShared performs the LLC-side timing of a shared-block access.
 // Shared metadata is hot and hits on chip; a forward adds an L1-to-L1
 // round trip through the LLC fabric.
 func (m *machine) accessShared(c *coreState, forwarded bool) int64 {
-	return m.timeAccess(c.rng, false, forwarded)
+	return m.timeAccess(&c.rng, false, forwarded)
 }

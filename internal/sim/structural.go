@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"scaleout/internal/cache"
 	"scaleout/internal/exp/engine"
@@ -93,6 +94,17 @@ func (c StructuralConfig) Key() string {
 	return "structural:" + engine.Fingerprint(cc)
 }
 
+// base maps the structural configuration onto the statistical Config the
+// shared kernel derives its bank, channel, and directory sizing from.
+func (c StructuralConfig) base() Config {
+	return Config{
+		Workload: c.Workload, CoreType: c.CoreType, Cores: c.Cores,
+		LLCMB: c.LLCMB, Net: c.Net, MemChannels: c.MemChannels,
+		WarmupCycles: c.WarmupCycles, MeasureCycles: c.MeasureCycles,
+		Seed: c.Seed,
+	}
+}
+
 // pendingMiss is one outstanding L1 miss: the block and the cycle its
 // fill returns.
 type pendingMiss struct {
@@ -110,8 +122,13 @@ type structCore struct {
 	// outstanding MSHR entries and their completion cycles. A small
 	// slice beats a map here: the retire scan runs every active cycle,
 	// and every use (retire filter, earliest-completion min, secondary
-	// lookup) is order-insensitive.
+	// lookup) is order-insensitive. The backing array is sized to the
+	// MSHR capacity up front, so the miss path never allocates.
 	pending []pendingMiss
+	// pendingMin caches min(pending.done) (noCompletion when empty) so
+	// the per-cycle retire scan and the MSHR-full earliest-completion
+	// lookup are O(1) in the common case.
+	pendingMin int64
 
 	instrs     uint64
 	l1iMisses  uint64
@@ -128,6 +145,19 @@ type structMachine struct {
 	cores   []structCore
 	llc     []*cache.SetAssoc // one array per bank
 	victims []*cache.Victim   // 16-entry victim cache per bank (Table 2.2)
+	shape   machineShape      // allocation geometry, the pool's reuse key
+
+	// Bank routing: the harness's bank counts are powers of two, where
+	// selection is a mask and the index a shift instead of the generic
+	// divide the miss path would otherwise pay.
+	bankPow2  bool
+	bankMask  uint64
+	bankShift uint
+
+	// err records a structural invariant violation (an MSHR file full
+	// with nothing outstanding) discovered mid-run; the offending core
+	// is parked and the error surfaces when the run returns.
+	err error
 }
 
 // RunStructural simulates the configuration in structural mode.
@@ -145,34 +175,35 @@ func runStructuralKernel(cfg StructuralConfig, lockstep bool) (StructuralResult,
 	if err := cfg.applyDefaults(); err != nil {
 		return StructuralResult{}, err
 	}
-	m, err := newStructMachine(cfg)
+	m, err := acquireStructMachine(cfg)
 	if err != nil {
 		return StructuralResult{}, err
 	}
-	run := m.run
 	if lockstep {
-		run = m.runLockstep
+		runLockstepOn(&m.kernel, m, cfg.WarmupCycles)
+		m.resetStructStats()
+		runLockstepOn(&m.kernel, m, cfg.MeasureCycles)
+	} else {
+		runEvent(&m.kernel, m, cfg.WarmupCycles)
+		m.resetStructStats()
+		runEvent(&m.kernel, m, cfg.MeasureCycles)
 	}
-	run(cfg.WarmupCycles)
-	m.resetStructStats()
-	run(cfg.MeasureCycles)
-	return m.structResult(), nil
+	if m.err != nil {
+		// A poisoned machine is dropped, not pooled.
+		return StructuralResult{}, m.err
+	}
+	res := m.structResult()
+	releaseStructMachine(m)
+	return res, nil
 }
 
 func newStructMachine(cfg StructuralConfig) (*structMachine, error) {
-	// Reuse the statistical kernel for banks/channels/directory sizing.
-	base := Config{
-		Workload: cfg.Workload, CoreType: cfg.CoreType, Cores: cfg.Cores,
-		LLCMB: cfg.LLCMB, Net: cfg.Net, MemChannels: cfg.MemChannels,
-		WarmupCycles: cfg.WarmupCycles, MeasureCycles: cfg.MeasureCycles,
-		Seed: cfg.Seed,
-	}
-	k, err := newKernel(base)
+	k, err := newKernel(cfg.base())
 	if err != nil {
 		return nil, err
 	}
 	spec := tech.Cores(cfg.CoreType)
-	m := &structMachine{kernel: k, scfg: cfg}
+	m := &structMachine{kernel: k, scfg: cfg, shape: shapeOf(cfg)}
 	banks := m.cfg.banks
 	bankBytes := int(cfg.LLCMB * 1024 * 1024 / float64(banks))
 	m.llc = make([]*cache.SetAssoc, banks)
@@ -210,17 +241,128 @@ func newStructMachine(cfg StructuralConfig) (*structMachine, error) {
 		m.cores[i] = structCore{
 			coreState: newCoreState(cfg.Seed, i, m.cfg.slots),
 			gen:       gen, l1i: l1i, l1d: l1d, mshr: mshr,
+			pending:    make([]pendingMiss, 0, cfg.L1MSHRs),
+			pendingMin: noCompletion,
 		}
 	}
-	// Checkpoint-style warm start (Section 3.3: simulations launch from
-	// checkpoints with warmed caches): pre-fill the LLC with the blocks
-	// a steady-state system would hold. The remaining warmup cycles
-	// settle the L1s, queues, and directory.
+	m.initBankRouting()
+	m.warmLLC()
+	m.attach(m)
+	return m, nil
+}
+
+// reset restores the machine to the exact state newStructMachine(cfg)
+// would construct — cold caches, reseeded streams, warm-start LLC image
+// — while reusing every allocation. The pool only pairs a machine with
+// configurations of identical shape (shapeOf), so all array lengths
+// already match; everything semantic is re-derived from cfg here.
+func (m *structMachine) reset(cfg StructuralConfig) error {
+	m.cfg = derive(cfg.base())
+	m.scfg = cfg
+	m.now = 0
+	m.err = nil
+	clear(m.banks)
+	clear(m.chans)
+	m.dir.Reset()
+	m.resetStats()
+	for i := range m.cores {
+		c := &m.cores[i]
+		gen, err := trace.NewFromWorkload(cfg.Workload, cfg.CoreType, i, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		c.gen = gen
+		c.coreState.reset(cfg.Seed, i)
+		c.l1i.Reset()
+		c.l1d.Reset()
+		c.mshr.Reset()
+		c.pending = c.pending[:0]
+		c.pendingMin = noCompletion
+		c.instrs, c.l1iMisses, c.l1dMisses, c.mshrStalls = 0, 0, 0, 0
+	}
+	m.initBankRouting()
+	m.warmLLC() // owns LLC bank and victim state: copies or rebuilds it
+	m.attach(m)
+	return nil
+}
+
+// initBankRouting precomputes the bank-selection mask and index shift
+// when the bank count is a power of two (it always is for the thesis's
+// configurations).
+func (m *structMachine) initBankRouting() {
+	banks := uint64(len(m.llc))
+	m.bankPow2 = banks&(banks-1) == 0
+	if m.bankPow2 {
+		m.bankMask = banks - 1
+		m.bankShift = uint(bits.TrailingZeros64(banks))
+	}
+}
+
+// bankOf routes a block to its LLC bank and strips the bank-selection
+// bits off the in-bank index, so every set of the bank array is usable.
+func (m *structMachine) bankOf(block uint64) (int, uint64) {
+	if m.bankPow2 {
+		return int(block & m.bankMask), block >> m.bankShift
+	}
+	banks := uint64(len(m.llc))
+	return int(block % banks), block / banks
+}
+
+// warmLLC applies the checkpoint-style warm start (Section 3.3:
+// simulations launch from checkpoints with warmed caches): the LLC is
+// pre-filled with the blocks a steady-state system would hold, and the
+// remaining warmup cycles settle the L1s, queues, and directory. The
+// post-fill image depends only on the workload's footprint and the bank
+// geometry, so it is computed once per (footprint, banks, bank size)
+// and replayed into pooled machines with array copies instead of
+// hundreds of thousands of tag-array inserts.
+//
+// warmLLC owns the LLC bank and victim state outright: an image hit
+// overwrites it completely, and only the (once per key) miss path pays
+// to reset the arrays before the fill. Callers must not reset them
+// first — on the pooled path that would touch every byte twice.
+func (m *structMachine) warmLLC() {
+	key := prefillKey{
+		instrFootprintMB: m.scfg.Workload.InstrFootprintMB,
+		banks:            len(m.llc),
+		bankBytes:        m.llc[0].CapacityBytes(),
+	}
+	if img, ok := prefillImages.load(key); ok {
+		for i := range m.llc {
+			m.llc[i].CopyStateFrom(img.llc[i])
+			m.victims[i].CopyStateFrom(img.victims[i])
+		}
+		m.offChipLines += img.offChipLines
+		return
+	}
+	for i := range m.llc {
+		m.llc[i].Reset()
+		m.victims[i].Reset()
+	}
+	before := m.offChipLines
 	for _, block := range m.cores[0].gen.ResidentBlocks() {
 		m.llcInsert(block, false)
 	}
-	m.attach(m)
-	return m, nil
+	img := &prefillImage{
+		llc:          make([]*cache.SetAssoc, len(m.llc)),
+		victims:      make([]*cache.Victim, len(m.victims)),
+		offChipLines: m.offChipLines - before,
+	}
+	for i := range m.llc {
+		arr, err := cache.NewSetAssoc(m.llc[i].CapacityBytes(), m.llc[i].Ways())
+		if err != nil {
+			return // geometry was already validated; keep the live fill
+		}
+		arr.CopyStateFrom(m.llc[i])
+		img.llc[i] = arr
+		vc, err := cache.NewVictim(m.victims[i].Capacity())
+		if err != nil {
+			return
+		}
+		vc.CopyStateFrom(m.victims[i])
+		img.victims[i] = vc
+	}
+	prefillImages.store(key, img)
 }
 
 func (m *structMachine) resetStructStats() {
@@ -238,79 +380,84 @@ func (m *structMachine) core(i int) *coreState { return &m.cores[i].coreState }
 // path: MSHR/MLP retirement, then the issue loop through the real L1s.
 func (m *structMachine) stepActive(i int) {
 	c := &m.cores[i]
-	// Retire completed misses: free MSHR entries and MLP slots.
-	livePending := c.pending[:0]
-	for _, p := range c.pending {
-		if p.done > m.now {
-			livePending = append(livePending, p)
-		} else {
-			c.mshr.Complete(p.block)
+	// Retire completed misses: free MSHR entries and MLP slots. The
+	// guards skip the scans while nothing is due — most active cycles.
+	if c.pendingMin <= m.now {
+		livePending := c.pending[:0]
+		earliest := noCompletion
+		for _, p := range c.pending {
+			if p.done > m.now {
+				livePending = append(livePending, p)
+				if p.done < earliest {
+					earliest = p.done
+				}
+			} else {
+				c.mshr.Complete(p.block)
+			}
 		}
+		c.pending = livePending
+		c.pendingMin = earliest
 	}
-	c.pending = livePending
-	live := c.slotDone[:0]
-	for _, done := range c.slotDone {
-		if done > m.now {
-			live = append(live, done)
-		}
-	}
-	c.slotDone = live
+	c.retireSlots(m.now)
 
-	c.credit += m.cfg.baseIPC
-	for n := 0; c.credit >= 1 && n < m.cfg.width; n++ {
-		c.credit--
-		m.instructions++
-		c.instrs++
+	// The issue budget and instruction counters stay in registers for
+	// the whole step and commit once at the end — per-instruction
+	// memory RMWs on them were a measurable slice of the issue loop.
+	credit := c.credit + m.cfg.baseIPC
+	issued := uint64(0)
+	for n := 0; credit >= 1 && n < m.cfg.width; n++ {
+		credit--
+		issued++
 
-		// Instruction fetch through the real L1-I.
-		if acc, ok := c.gen.NextInstr(); ok {
+		// Instruction fetch through the real L1-I. The gate draw is
+		// inlined here; the access body runs one fetch in twelve.
+		if c.gen.WantInstr() {
+			acc := c.gen.InstrAccess()
 			if !c.l1i.Lookup(acc.Block) {
 				c.l1iMisses++
 				done, stalled := m.structMiss(i, c, acc)
-				if stalled {
-					return
+				if !stalled {
+					c.l1i.Insert(acc.Block, false)
+					c.blockedUntil = done // front end stalls on I-misses
 				}
-				c.l1i.Insert(acc.Block, false)
-				c.blockedUntil = done // front end stalls on I-misses
-				return
+				goto commit
 			}
 		}
 
 		// Data access through the real L1-D.
-		acc, ok := c.gen.NextData()
-		if !ok {
+		if !c.gen.WantData() {
 			continue
 		}
-		if c.l1d.Lookup(acc.Block) {
-			if acc.IsWrite {
-				c.l1d.MarkDirty(acc.Block)
+		if acc := c.gen.DataAccess(); !c.l1d.Access(acc.Block, acc.IsWrite) {
+			c.l1dMisses++
+			done, stalled := m.structMiss(i, c, acc)
+			if stalled {
+				goto commit
 			}
-			continue // L1 hit: no LLC traffic
-		}
-		c.l1dMisses++
-		done, stalled := m.structMiss(i, c, acc)
-		if stalled {
-			return
-		}
-		if ev, evicted := c.l1d.Insert(acc.Block, acc.IsWrite); evicted && ev.Dirty {
-			// Dirty L1 writeback lands in the LLC.
-			m.llcInsert(ev.Block, true)
-		}
-		lat := done - m.now
-		if m.cfg.CoreType == tech.InOrder {
-			c.blockedUntil = done
-			return
-		}
-		if m.isMissLatency(lat) {
-			if len(c.slotDone) >= m.cfg.slots {
-				c.blockedUntil = minInt64(c.slotDone)
-				return
+			if ev, evicted := c.l1d.Insert(acc.Block, acc.IsWrite); evicted && ev.Dirty {
+				// Dirty L1 writeback lands in the LLC.
+				m.llcInsert(ev.Block, true)
 			}
-			c.slotDone = append(c.slotDone, done)
-		} else {
-			c.stallDebt += m.cfg.overlap * float64(lat)
+			lat := done - m.now
+			if m.cfg.CoreType == tech.InOrder {
+				c.blockedUntil = done
+				goto commit
+			}
+			if m.isMissLatency(lat) {
+				if len(c.slotDone) >= m.cfg.slots {
+					c.blockedUntil = c.slotMin
+					goto commit
+				}
+				c.addSlot(done)
+			} else {
+				c.stallDebt += m.cfg.overlap * float64(lat)
+			}
 		}
 	}
+commit:
+	c.credit = credit
+	c.instrs += issued
+	m.instructions += issued
 }
 
 // structMiss services an L1 miss through the MSHR, the LLC tag arrays,
@@ -321,14 +468,19 @@ func (m *structMachine) structMiss(i int, c *structCore, acc trace.Access) (int6
 	if !ok {
 		// MSHR full: stall until the earliest outstanding miss returns.
 		c.mshrStalls++
-		earliest := int64(1<<62 - 1)
-		for _, p := range c.pending {
-			if p.done < earliest {
-				earliest = p.done
-			}
+		if len(c.pending) == 0 {
+			// A full MSHR file with no outstanding miss cannot retire:
+			// the earliest-completion lookup would leave the core
+			// blocked on the noCompletion sentinel forever. Record the
+			// invariant violation and park the core; the error surfaces
+			// when the run returns.
+			m.err = fmt.Errorf("sim: core %d: MSHR file full (%d entries) with no outstanding miss to retire",
+				i, c.mshr.Capacity())
+			c.blockedUntil = m.now + (1 << 40)
+			return c.blockedUntil, true
 		}
-		c.blockedUntil = earliest
-		return earliest, true
+		c.blockedUntil = c.pendingMin
+		return c.pendingMin, true
 	}
 	if !primary {
 		// Secondary miss: completes with the primary.
@@ -353,14 +505,12 @@ func (m *structMachine) structMiss(i int, c *structCore, acc trace.Access) (int6
 		forwarded = res.ForwardedFromL1
 	}
 
-	// Real LLC lookup in the block's bank. The bank-selection bits are
-	// stripped before indexing so every set of the bank array is usable.
-	// Misses get a second chance in the bank's 16-entry victim cache.
-	banks := uint64(len(m.llc))
-	bank := int(acc.Block % banks)
-	hit := m.llc[bank].Lookup(acc.Block/banks) || forwarded
+	// Real LLC lookup in the block's bank. Misses get a second chance
+	// in the bank's 16-entry victim cache.
+	bank, idx := m.bankOf(acc.Block)
+	hit := m.llc[bank].Lookup(idx) || forwarded
 	if !hit {
-		if vHit, vDirty := m.victims[bank].Probe(acc.Block / banks); vHit {
+		if vHit, vDirty := m.victims[bank].Probe(idx); vHit {
 			hit = true
 			m.llcInsert(acc.Block, vDirty) // promote back into the array
 		}
@@ -370,16 +520,17 @@ func (m *structMachine) structMiss(i int, c *structCore, acc trace.Access) (int6
 		m.llcInsert(acc.Block, false)
 	}
 	c.pending = append(c.pending, pendingMiss{block: acc.Block, done: done})
+	if done < c.pendingMin {
+		c.pendingMin = done
+	}
 	return done, false
 }
 
 // llcInsert fills a block into its LLC bank, spilling dirty victims to
-// the memory channels' traffic accounting. Bank-selection bits are
-// stripped before indexing the bank array.
+// the memory channels' traffic accounting.
 func (m *structMachine) llcInsert(block uint64, dirty bool) {
-	banks := uint64(len(m.llc))
-	bank := int(block % banks)
-	if ev, evicted := m.llc[bank].Insert(block/banks, dirty); evicted {
+	bank, idx := m.bankOf(block)
+	if ev, evicted := m.llc[bank].Insert(idx, dirty); evicted {
 		// Evicted blocks get a second chance in the victim cache; only
 		// dirty spills from the victim cache go off-chip.
 		if spill, spilled := m.victims[bank].Insert(ev.Block, ev.Dirty); spilled && spill.Dirty {

@@ -21,10 +21,18 @@ type Rng struct {
 // NewRng returns a generator seeded with seed. A zero seed is remapped to
 // a fixed non-zero constant because xorshift has an all-zero fixed point.
 func NewRng(seed uint64) *Rng {
+	r := &Rng{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed restarts the stream from seed, exactly as NewRng(seed) would —
+// the allocation-free form machine pools use to recycle per-core RNGs.
+func (r *Rng) Reseed(seed uint64) {
 	if seed == 0 {
 		seed = 0x9E3779B97F4A7C15
 	}
-	return &Rng{state: seed}
+	r.state = seed
 }
 
 // Uint64 returns the next 64-bit value in the stream.
@@ -112,54 +120,6 @@ func (r *Rng) Zipf(n int, s float64) int {
 	}
 	if k >= n {
 		k = n - 1
-	}
-	return k
-}
-
-// ZipfGen draws from a fixed Zipf-like distribution over ranks [0, n)
-// with skew s — the repeated-draw form of Rng.Zipf. The normalizer of
-// the truncated harmonic series and the reciprocal exponent depend only
-// on (n, s), so they are computed once here; a draw then costs one Pow
-// instead of two. Draws are bit-identical to Rng.Zipf with the same
-// arguments: every cached term is produced by the exact expression the
-// per-call path evaluates.
-type ZipfGen struct {
-	n        int
-	s        float64
-	oneMinus float64 // 1 - s
-	hn       float64 // (n^(1-s) - 1) / (1-s), unused when s == 1
-	inv      float64 // 1 / (1-s), unused when s == 1
-}
-
-// NewZipfGen precomputes the draw constants for ranks [0, n) at skew s.
-func NewZipfGen(n int, s float64) *ZipfGen {
-	z := &ZipfGen{n: n, s: s}
-	if n > 1 && s != 1 {
-		z.oneMinus = 1 - s
-		z.hn = (math.Pow(float64(n), z.oneMinus) - 1) / z.oneMinus
-		z.inv = 1 / z.oneMinus
-	}
-	return z
-}
-
-// Draw advances r's stream by one value, exactly as Rng.Zipf does.
-func (z *ZipfGen) Draw(r *Rng) int {
-	if z.n <= 1 {
-		return 0
-	}
-	u := r.Float64()
-	var x float64
-	if z.s == 1 {
-		x = math.Pow(float64(z.n), u)
-	} else {
-		x = math.Pow(u*z.hn*z.oneMinus+1, z.inv)
-	}
-	k := int(x) - 1
-	if k < 0 {
-		k = 0
-	}
-	if k >= z.n {
-		k = z.n - 1
 	}
 	return k
 }

@@ -1,0 +1,388 @@
+package stats
+
+import (
+	"math"
+	"sync"
+)
+
+// ZipfGen draws from a fixed Zipf-like distribution over ranks [0, n)
+// with skew s — the repeated-draw form of Rng.Zipf, and the workhorse
+// behind the structural simulator's reference streams (internal/trace
+// draws one per data reference).
+//
+// A draw is a binary search over a precomputed rank-threshold table
+// instead of the math.Pow inverse-CDF evaluation Rng.Zipf performs —
+// Pow was the single hottest function in the structural simulator's
+// profile. The table stores, for every rank k, the smallest value u can
+// take (Rng.Float64 values lie exactly on the j*2^-53 grid) for which
+// the Pow expression yields rank >= k, found by inverting the exact
+// floating-point expression the per-call path evaluates. Draws are
+// therefore bit-identical to Rng.Zipf with the same arguments
+// (TestZipfGenMatchesRngZipf drives both across the full rank range and
+// adversarially probes every threshold's neighbourhood).
+//
+// Tables depend only on (n, s), so they are built once per process and
+// shared — every core of every pooled machine draws from the same table.
+type ZipfGen struct {
+	n          int
+	s          float64
+	oneMinus   float64   // 1 - s
+	hn         float64   // (n^(1-s) - 1) / (1-s), unused when s == 1
+	inv        float64   // 1 / (1-s), unused when s == 1
+	thresholds []float64 // thresholds[k]: smallest grid u with rank >= k
+	radix      []int32   // u-bucketed rank brackets narrowing the search
+	radixScale float64   // number of radix buckets, as a float for the map
+}
+
+// The radix index buckets u-space: bucket i covers [i, i+1)/buckets,
+// and radix[i] holds the rank at the bucket's left edge, so a draw
+// binary-searches only the ranks its bucket spans — usually zero to
+// three — instead of all n. The bucket count tracks n (rounded up to a
+// power of two, clamped): more buckets than ranks buys nothing but
+// cache pressure — the trace generator's 512-rank primary table wants
+// its whole search structure L1-resident — while the 24576-rank
+// secondary table wants enough buckets to keep spans short.
+const (
+	zipfRadixMinBits = 6
+	zipfRadixMaxBits = 14
+)
+
+func radixBitsFor(n int) int {
+	bits := zipfRadixMinBits
+	for 1<<bits < n && bits < zipfRadixMaxBits {
+		bits++
+	}
+	return bits
+}
+
+// zipfTables caches threshold tables by (n, s) for the life of the
+// process, like the trig tables a hardware RNG would bake into ROM.
+var zipfTables sync.Map // zipfKey -> *zipfTable
+
+type zipfKey struct {
+	n int
+	s float64
+}
+
+type zipfTable struct {
+	thresholds []float64
+	radix      []int32
+}
+
+// NewZipfGen precomputes the draw constants and the rank-threshold table
+// for ranks [0, n) at skew s.
+func NewZipfGen(n int, s float64) *ZipfGen {
+	z := &ZipfGen{n: n, s: s}
+	if n <= 1 {
+		return z
+	}
+	if s != 1 {
+		z.oneMinus = 1 - s
+		z.hn = (math.Pow(float64(n), z.oneMinus) - 1) / z.oneMinus
+		z.inv = 1 / z.oneMinus
+	}
+	key := zipfKey{n, s}
+	if t, ok := zipfTables.Load(key); ok {
+		tab := t.(*zipfTable)
+		z.thresholds, z.radix = tab.thresholds, tab.radix
+		z.radixScale = float64(len(z.radix) - 1)
+		return z
+	}
+	z.thresholds = z.buildThresholds()
+	z.radix = buildRadix(z.thresholds)
+	z.radixScale = float64(len(z.radix) - 1)
+	zipfTables.Store(key, &zipfTable{z.thresholds, z.radix})
+	return z
+}
+
+// buildRadix maps every u bucket to the rank at its left edge. Rank is
+// non-decreasing in u, so for u inside bucket i the rank lies in
+// [radix[i], radix[i+1]].
+func buildRadix(thresholds []float64) []int32 {
+	buckets := 1 << radixBitsFor(len(thresholds))
+	radix := make([]int32, buckets+1)
+	k := 0
+	for i := range radix {
+		edge := float64(i) / float64(buckets)
+		for k+1 < len(thresholds) && thresholds[k+1] <= edge {
+			k++
+		}
+		radix[i] = int32(k)
+	}
+	// The last bucket edge is u = 1.0, past every drawable u.
+	radix[len(radix)-1] = int32(len(thresholds) - 1)
+	return radix
+}
+
+// powRank evaluates the per-call inverse-CDF exactly as Rng.Zipf does:
+// one math.Pow, truncate, clamp.
+func (z *ZipfGen) powRank(u float64) int {
+	var x float64
+	if z.s == 1 {
+		x = math.Pow(float64(z.n), u)
+	} else {
+		x = math.Pow(u*z.hn*z.oneMinus+1, z.inv)
+	}
+	k := int(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// zipfGrid is the resolution of Rng.Float64's output: every drawn u is
+// exactly j / zipfGrid for an integer j in [0, zipfGrid).
+const zipfGrid = 1 << 53
+
+// buildThresholds computes, for each rank k, the smallest grid point u
+// at which powRank reaches k. The analytic inverse of the CDF lands
+// within a few ulps of the true boundary; a short walk against the
+// floating-point powRank pins it exactly. Thresholds are forced
+// non-decreasing so the binary search in Draw is well defined even if
+// math.Pow were locally non-monotone at ulp scale.
+func (z *ZipfGen) buildThresholds() []float64 {
+	t := make([]float64, z.n)
+	logN := math.Log(float64(z.n))
+	c := z.hn * z.oneMinus
+	prev := int64(0)
+	for k := 1; k < z.n; k++ {
+		// Analytic inverse of x >= k+1 in exact arithmetic.
+		m := float64(k + 1)
+		var u float64
+		if z.s == 1 {
+			u = math.Log(m) / logN
+		} else {
+			u = (math.Pow(m, z.oneMinus) - 1) / c
+		}
+		j := int64(u * zipfGrid)
+		if j < prev {
+			j = prev
+		}
+		if j > zipfGrid-1 {
+			j = zipfGrid - 1
+		}
+		j = pinBoundary(j, prev, func(j int64) bool {
+			return z.powRank(float64(j)/zipfGrid) >= k
+		})
+		if j >= zipfGrid {
+			// No representable u < 1 reaches this rank through the Pow
+			// path; park this and every later threshold at 1.0, which
+			// Rng.Float64 never produces.
+			for ; k < z.n; k++ {
+				t[k] = 1.0
+			}
+			break
+		}
+		t[k] = float64(j) / zipfGrid
+		prev = j
+	}
+	return t
+}
+
+// pinBoundary refines guess j to the smallest grid index >= floor
+// satisfying pred, walking locally first and falling back to a full
+// binary search if the analytic guess was off by more than a small
+// window. pred must be (up to ulp-scale jitter) monotone in j.
+func pinBoundary(j, floor int64, pred func(int64) bool) int64 {
+	const window = 1024
+	switch {
+	case pred(j):
+		for steps := 0; j > floor && pred(j-1); steps++ {
+			j--
+			if steps >= window {
+				return searchBoundary(floor, j, pred)
+			}
+		}
+		return j
+	default:
+		for steps := 0; !pred(j); steps++ {
+			j++
+			if j >= zipfGrid || steps >= window {
+				return searchBoundary(j, zipfGrid-1, pred)
+			}
+		}
+		return j
+	}
+}
+
+// searchBoundary binary-searches [lo, hi] for the smallest index
+// satisfying pred, assuming pred is monotone over the bracket. It
+// returns hi+1 when no index satisfies it.
+func searchBoundary(lo, hi int64, pred func(int64) bool) int64 {
+	if lo > hi || !pred(hi) {
+		return hi + 1
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// zipfBoundaryEps is the width, in u-space, of the guard band around
+// every threshold inside which Draw re-evaluates the Pow expression
+// instead of trusting the table. math.Pow's ~1-ulp error makes the
+// truncated rank flicker within a couple of grid points of a boundary
+// (the set {u : rank(u) >= k} is not exactly an up-set), so a pure
+// threshold table cannot be bit-identical; outside the band the table
+// is provably exact because a mismatch would need a Pow error larger
+// than the distance to the nearest integer crossing, which grows by
+// ~one x-ulp per grid step. 2^16 grid points is a ~30000x safety margin
+// over the observed flicker width, and the band is still so narrow that
+// fewer than one draw in a million takes the Pow path.
+const zipfBoundaryEps = float64(1<<16) / zipfGrid
+
+// Draw advances r's stream by one value, exactly as Rng.Zipf does, and
+// maps it to a rank through the threshold table.
+func (z *ZipfGen) Draw(r *Rng) int {
+	if z.n <= 1 {
+		return 0
+	}
+	return z.rankOf(r.Float64())
+}
+
+// GeometricGen draws geometrically distributed trial counts with a
+// fixed success probability — the repeated-draw form of Rng.Geometric,
+// and the basic-block run-length source of the structural reference
+// streams. Like ZipfGen it replaces the per-draw transcendental
+// (Rng.Geometric pays two Logs) with a threshold table over u: the
+// count k(u) = ceil(log(u)/log(1-p)) is a non-increasing step function,
+// so draw = first tabulated boundary at or below u, with the exact Log
+// evaluation kept for boundary guard bands and the far tail. Draws are
+// bit-identical to Rng.Geometric with the same p
+// (TestGeometricGenMatchesRngGeometric).
+type GeometricGen struct {
+	p          float64
+	logQ       float64   // math.Log(1-p), after Rng.Geometric's clamping
+	thresholds []float64 // thresholds[m]: smallest grid u with count <= m
+}
+
+// geomTableMax bounds the tabulated counts: P(k > 64) = (1-p)^64, under
+// 1e-8 for the trace generator's p = 0.25; beyond it Draw falls back to
+// the exact evaluation.
+const geomTableMax = 64
+
+// geomTables caches threshold tables by p for the life of the process.
+var geomTables sync.Map // float64 -> []float64
+
+// NewGeometricGen precomputes the draw constants and threshold table
+// for probability p, clamped into (0, 1] exactly as Rng.Geometric
+// clamps it.
+func NewGeometricGen(p float64) *GeometricGen {
+	g := &GeometricGen{p: p}
+	if p >= 1 {
+		return g
+	}
+	q := p
+	if q <= 0 {
+		q = 1e-9
+	}
+	g.logQ = math.Log(1 - q)
+	if t, ok := geomTables.Load(p); ok {
+		g.thresholds = t.([]float64)
+		return g
+	}
+	g.thresholds = g.buildThresholds()
+	geomTables.Store(p, g.thresholds)
+	return g
+}
+
+// exact evaluates the count exactly as Rng.Geometric does (with the
+// log(1-p) factored out, an exact reuse of the same expression).
+func (g *GeometricGen) exact(u float64) int {
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	n := int(math.Ceil(math.Log(u) / g.logQ))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// buildThresholds tabulates, for each count m, the smallest grid u with
+// exact(u) <= m. In exact arithmetic that boundary is (1-p)^m; the
+// analytic guess is pinned against the floating-point expression as in
+// ZipfGen. Thresholds are forced non-increasing in u as m grows.
+func (g *GeometricGen) buildThresholds() []float64 {
+	t := make([]float64, geomTableMax+1)
+	t[0] = 1.0 // count 0 never occurs; sentinel above every drawable u
+	q := 1 - g.p
+	if g.p <= 0 {
+		q = 1 - 1e-9
+	}
+	ceil := int64(zipfGrid)
+	for m := 1; m <= geomTableMax; m++ {
+		u := math.Pow(q, float64(m))
+		j := int64(u * zipfGrid)
+		if j > zipfGrid-1 {
+			j = zipfGrid - 1
+		}
+		if j < 0 {
+			j = 0
+		}
+		j = pinBoundary(j, 0, func(j int64) bool {
+			return g.exact(float64(j)/zipfGrid) <= m
+		})
+		if j > ceil {
+			j = ceil // non-increasing regions: never above the previous boundary
+		}
+		t[m] = float64(j) / zipfGrid
+		ceil = j
+	}
+	return t
+}
+
+// Draw advances r's stream by one value, exactly as Rng.Geometric does,
+// and maps it to a count through the threshold table. The expected scan
+// length is 1/p entries; u inside a boundary guard band or below the
+// tabulated range takes the exact Log path.
+func (g *GeometricGen) Draw(r *Rng) int {
+	if g.p >= 1 {
+		return 1
+	}
+	u := r.Float64()
+	t := g.thresholds
+	for m := 1; m < len(t); m++ {
+		if u >= t[m] {
+			if u-t[m] < zipfBoundaryEps || t[m-1]-u < zipfBoundaryEps {
+				return g.exact(u)
+			}
+			return m
+		}
+	}
+	return g.exact(u)
+}
+
+// rankOf maps one drawn u to its rank: a binary search for the largest
+// k with thresholds[k] <= u (thresholds[0] == 0 bounds it), bracketed
+// by the radix index and deferring to the exact Pow evaluation inside
+// the boundary guard bands.
+func (z *ZipfGen) rankOf(u float64) int {
+	b := int(u * z.radixScale)
+	lo, hi := int(z.radix[b]), int(z.radix[b+1])+1
+	if hi > len(z.thresholds) {
+		hi = len(z.thresholds)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if z.thresholds[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	k := lo - 1
+	if u-z.thresholds[k] < zipfBoundaryEps ||
+		(k+1 < z.n && z.thresholds[k+1]-u < zipfBoundaryEps) {
+		return z.powRank(u)
+	}
+	return k
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The threshold-table draw must be bit-identical to the Pow inverse-CDF
+// it replaced: the structural simulator's reference streams feed every
+// drawn rank into real cache arrays, so a single differing draw changes
+// emergent miss rates. The (n, s) pairs cover the trace generator's
+// production parameters (512 @ 0.6, 24576 @ 0.4) plus the s == 1 branch
+// and degenerate sizes.
+func zipfCases() []struct {
+	n int
+	s float64
+} {
+	return []struct {
+		n int
+		s float64
+	}{
+		{512, 0.6},   // trace primary working set
+		{24576, 0.4}, // trace secondary working set
+		{1000, 1.0},  // the s == 1 branch
+		{100, 0.0},   // uniform
+		{7, 0.9},
+		{1, 0.5}, // degenerate: always rank 0, no draw consumed
+	}
+}
+
+// TestZipfGenMatchesRngZipf drives ZipfGen.Draw and Rng.Zipf from two
+// identically seeded streams and asserts every rank matches.
+func TestZipfGenMatchesRngZipf(t *testing.T) {
+	for _, tc := range zipfCases() {
+		z := NewZipfGen(tc.n, tc.s)
+		r1 := NewRng(42)
+		r2 := NewRng(42)
+		draws := 200000
+		if testing.Short() {
+			draws = 20000
+		}
+		for i := 0; i < draws; i++ {
+			got := z.Draw(r1)
+			want := r2.Zipf(tc.n, tc.s)
+			if got != want {
+				t.Fatalf("n=%d s=%v draw %d: table %d, pow %d", tc.n, tc.s, i, got, want)
+			}
+		}
+	}
+}
+
+// TestZipfThresholdNeighbourhoods adversarially probes the grid points
+// around every threshold — exactly where a misplaced boundary or a
+// non-monotone math.Pow at ulp scale would surface — asserting the
+// table and Pow paths agree on each.
+func TestZipfThresholdNeighbourhoods(t *testing.T) {
+	for _, tc := range zipfCases() {
+		if tc.n <= 1 {
+			continue
+		}
+		z := NewZipfGen(tc.n, tc.s)
+		checked := 0
+		for k := 1; k < z.n; k++ {
+			th := z.thresholds[k]
+			if th >= 1 { // unreachable rank: no representable u draws it
+				continue
+			}
+			j := int64(math.Round(th * zipfGrid))
+			// Probe the flicker zone (±3) and both edges of the guard
+			// band, where rankOf switches between table and Pow paths.
+			offsets := []int64{-3, -2, -1, 0, 1, 2, 3,
+				-(1 << 16) - 1, -(1 << 16), -(1 << 16) + 1,
+				1<<16 - 1, 1 << 16, 1<<16 + 1}
+			for _, d := range offsets {
+				jj := j + d
+				if jj < 0 || jj >= zipfGrid {
+					continue
+				}
+				u := float64(jj) / zipfGrid
+				if got, want := z.rankOf(u), z.powRank(u); got != want {
+					t.Fatalf("n=%d s=%v: threshold %d neighbourhood u=%v: table %d, pow %d",
+						tc.n, tc.s, k, u, got, want)
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("n=%d s=%v: no thresholds probed", tc.n, tc.s)
+		}
+	}
+}
+
+// Thresholds must be sorted for the binary search to be meaningful.
+func TestZipfThresholdsMonotone(t *testing.T) {
+	for _, tc := range zipfCases() {
+		if tc.n <= 1 {
+			continue
+		}
+		z := NewZipfGen(tc.n, tc.s)
+		if len(z.thresholds) != tc.n {
+			t.Fatalf("n=%d s=%v: %d thresholds", tc.n, tc.s, len(z.thresholds))
+		}
+		if z.thresholds[0] != 0 {
+			t.Fatalf("n=%d s=%v: thresholds[0] = %v", tc.n, tc.s, z.thresholds[0])
+		}
+		for k := 1; k < tc.n; k++ {
+			if z.thresholds[k] < z.thresholds[k-1] {
+				t.Fatalf("n=%d s=%v: thresholds[%d]=%v < thresholds[%d]=%v",
+					tc.n, tc.s, k, z.thresholds[k], k-1, z.thresholds[k-1])
+			}
+		}
+	}
+}
+
+// TestGeometricGenMatchesRngGeometric drives the table-driven
+// GeometricGen and the per-call Rng.Geometric from identically seeded
+// streams and asserts every count matches.
+func TestGeometricGenMatchesRngGeometric(t *testing.T) {
+	for _, p := range []float64{0.25, 0.5, 0.9, 0.01, 1.0, 1.5, 0, -1} {
+		g := NewGeometricGen(p)
+		r1 := NewRng(7)
+		r2 := NewRng(7)
+		draws := 200000
+		if testing.Short() {
+			draws = 20000
+		}
+		for i := 0; i < draws; i++ {
+			got := g.Draw(r1)
+			want := r2.Geometric(p)
+			if got != want {
+				t.Fatalf("p=%v draw %d: table %d, exact %d", p, i, got, want)
+			}
+		}
+	}
+}
+
+// TestGeometricThresholdNeighbourhoods probes the grid points around
+// every tabulated count boundary and the guard-band edges, asserting
+// table and Log paths agree.
+func TestGeometricThresholdNeighbourhoods(t *testing.T) {
+	g := NewGeometricGen(0.25)
+	drawAt := func(u float64) int {
+		tt := g.thresholds
+		for m := 1; m < len(tt); m++ {
+			if u >= tt[m] {
+				if u-tt[m] < zipfBoundaryEps || tt[m-1]-u < zipfBoundaryEps {
+					return g.exact(u)
+				}
+				return m
+			}
+		}
+		return g.exact(u)
+	}
+	checked := 0
+	for m := 1; m < len(g.thresholds); m++ {
+		j := int64(math.Round(g.thresholds[m] * zipfGrid))
+		for _, d := range []int64{-3, -2, -1, 0, 1, 2, 3,
+			-(1 << 16) - 1, -(1 << 16), 1<<16 - 1, 1 << 16, 1<<16 + 1} {
+			jj := j + d
+			if jj < 0 || jj >= zipfGrid {
+				continue
+			}
+			u := float64(jj) / zipfGrid
+			if got, want := drawAt(u), g.exact(u); got != want {
+				t.Fatalf("p=0.25 boundary %d neighbourhood u=%v: table %d, exact %d", m, u, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no boundaries probed")
+	}
+}
+
+func BenchmarkGeometricDrawTable(b *testing.B) {
+	g := NewGeometricGen(0.25)
+	r := NewRng(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Draw(r)
+	}
+}
+
+func BenchmarkGeometricDrawLog(b *testing.B) {
+	r := NewRng(1)
+	for i := 0; i < b.N; i++ {
+		r.Geometric(0.25)
+	}
+}
+
+func BenchmarkZipfDrawTable(b *testing.B) {
+	z := NewZipfGen(24576, 0.4)
+	r := NewRng(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Draw(r)
+	}
+}
+
+func BenchmarkZipfDrawPow(b *testing.B) {
+	r := NewRng(1)
+	for i := 0; i < b.N; i++ {
+		r.Zipf(24576, 0.4)
+	}
+}

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"testing"
+
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// BenchmarkTraceNext measures one instruction's worth of reference
+// generation — the instruction-fetch gate plus the data gate, with the
+// occasional block advance, Zipf rank draw, and geometric run length —
+// exactly what the structural simulator's issue loop pays per
+// instruction before it touches a cache.
+func BenchmarkTraceNext(b *testing.B) {
+	g, err := NewFromWorkload(workload.Suite()[0], tech.OoO, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		if g.WantInstr() {
+			sink += g.InstrAccess().Block
+		}
+		if g.WantData() {
+			sink += g.DataAccess().Block
+		}
+	}
+	if sink == 42 {
+		b.Log("unlikely") // keep the accesses from being optimized away
+	}
+}
+
+// BenchmarkTraceDataAccess isolates the data-stream body (Zipf draws
+// over the primary and secondary working sets dominate it).
+func BenchmarkTraceDataAccess(b *testing.B) {
+	g, err := NewFromWorkload(workload.Suite()[0], tech.OoO, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.DataAccess().Block
+	}
+	if sink == 42 {
+		b.Log("unlikely")
+	}
+}

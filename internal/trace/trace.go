@@ -42,7 +42,7 @@ type Access struct {
 
 // Generator produces the reference stream of one core.
 type Generator struct {
-	rng *stats.Rng
+	rng stats.Rng
 
 	// Instruction stream state.
 	instrBlocks  int     // footprint in blocks
@@ -61,9 +61,10 @@ type Generator struct {
 	primaryBlocks int
 	secondBlocks  int
 	sharedBlocks  int
-	zipfPrimary   *stats.ZipfGen // skewed rank draws over the primary set
-	zipfSecondary *stats.ZipfGen // ... and the secondary set
-	streamNext    uint64         // next block of the no-reuse dataset scan
+	zipfPrimary   *stats.ZipfGen      // skewed rank draws over the primary set
+	zipfSecondary *stats.ZipfGen      // ... and the secondary set
+	geomRun       *stats.GeometricGen // basic-block run lengths
+	streamNext    uint64              // next block of the no-reuse dataset scan
 
 	core uint64 // region offsets
 }
@@ -112,7 +113,7 @@ func New(cfg Config, coreID int, seed uint64) (*Generator, error) {
 		return nil, err
 	}
 	g := &Generator{
-		rng:           stats.NewRng(seed ^ (uint64(coreID)+1)*0x9E3779B97F4A7C15),
+		rng:           *stats.NewRng(seed ^ (uint64(coreID)+1)*0x9E3779B97F4A7C15),
 		instrBlocks:   int(cfg.InstrFootprintMB * 1024 * 1024 / cache.LineBytes),
 		hotBlocks:     cfg.HotCodeKB * 1024 / cache.LineBytes,
 		pFar:          cfg.PFar,
@@ -132,6 +133,7 @@ func New(cfg Config, coreID int, seed uint64) (*Generator, error) {
 	}
 	g.zipfPrimary = stats.NewZipfGen(g.primaryBlocks, 0.6)
 	g.zipfSecondary = stats.NewZipfGen(g.secondBlocks, 0.4)
+	g.geomRun = stats.NewGeometricGen(0.25)
 	return g, nil
 }
 
@@ -199,17 +201,19 @@ func (g *Generator) ResidentBlocks() []uint64 {
 	return out
 }
 
-// NextInstr returns the instruction-fetch access for one instruction, or
-// ok=false when the fetch stays within the current block (no cache
-// access needed beyond the already-fetched line).
-func (g *Generator) NextInstr() (Access, bool) {
-	if g.rng.Float64() >= g.blocksPerRef {
-		return Access{}, false
-	}
+// WantInstr reports whether this instruction's fetch crosses into a new
+// cache block, advancing the stream by one gate draw. It is the
+// inlineable fast path of NextInstr: the simulator issues it for every
+// instruction, and eleven times out of twelve it is the only draw.
+func (g *Generator) WantInstr() bool { return g.rng.Float64() < g.blocksPerRef }
+
+// InstrAccess returns the fetch access of an instruction whose gate
+// passed (WantInstr returned true).
+func (g *Generator) InstrAccess() Access {
 	if g.run <= 0 {
 		// Start a new basic-block run: near (within the hot region) or
 		// far (uniform over the whole footprint).
-		g.run = g.rng.Geometric(0.25) // mean 4-block runs
+		g.run = g.geomRun.Draw(&g.rng) // mean 4-block runs
 		if g.rng.Float64() < g.pFar {
 			g.pc = uint64(g.rng.Intn(g.instrBlocks))
 		} else {
@@ -218,36 +222,62 @@ func (g *Generator) NextInstr() (Access, bool) {
 	}
 	g.run--
 	block := instrBase + g.pc
-	g.pc = (g.pc + 1) % uint64(g.instrBlocks)
-	return Access{Block: block, IsInstr: true}, true
+	// pc is always < instrBlocks, so the wrap is a compare instead of
+	// the hardware divide a % would cost on every block advance.
+	g.pc++
+	if g.pc >= uint64(g.instrBlocks) {
+		g.pc = 0
+	}
+	return Access{Block: block, IsInstr: true}
 }
 
-// NextData returns the data access for one instruction, or ok=false when
-// the instruction performs no memory operation.
-func (g *Generator) NextData() (Access, bool) {
-	if g.rng.Float64() >= g.loadStoreFrac {
+// NextInstr returns the instruction-fetch access for one instruction, or
+// ok=false when the fetch stays within the current block (no cache
+// access needed beyond the already-fetched line).
+func (g *Generator) NextInstr() (Access, bool) {
+	if !g.WantInstr() {
 		return Access{}, false
 	}
+	return g.InstrAccess(), true
+}
+
+// WantData reports whether this instruction performs a memory operation,
+// advancing the stream by one gate draw — the inlineable fast path of
+// NextData.
+func (g *Generator) WantData() bool { return g.rng.Float64() < g.loadStoreFrac }
+
+// DataAccess returns the data access of an instruction whose gate passed
+// (WantData returned true).
+func (g *Generator) DataAccess() Access {
 	u := g.rng.Float64()
 	write := g.rng.Float64() < g.writeFrac
 	switch {
 	case u < g.pPrimary:
 		// Primary working set: Zipf-skewed for realistic L1 residency.
-		b := uint64(g.zipfPrimary.Draw(g.rng))
-		return Access{Block: privateBase + g.core*coreStride + b, IsWrite: write}, true
+		b := uint64(g.zipfPrimary.Draw(&g.rng))
+		return Access{Block: privateBase + g.core*coreStride + b, IsWrite: write}
 	case u < g.pPrimary+g.pSecondary:
 		// The secondary working set (indexes, OS structures, session
 		// tables) is read-mostly and shared by all cores serving the
 		// same application, so it is LLC-resident like the instruction
 		// footprint (Section 3.2.2).
-		b := uint64(g.zipfSecondary.Draw(g.rng))
-		return Access{Block: secondaryBase + b}, true
+		b := uint64(g.zipfSecondary.Draw(&g.rng))
+		return Access{Block: secondaryBase + b}
 	case u < g.pPrimary+g.pSecondary+g.pShared:
 		b := uint64(g.rng.Intn(g.sharedBlocks))
-		return Access{Block: sharedBase + b, IsWrite: write, Shared: true}, true
+		return Access{Block: sharedBase + b, IsWrite: write, Shared: true}
 	default:
 		// Streaming over the vast dataset: every block is new.
 		g.streamNext++
-		return Access{Block: streamBase + g.core*coreStride + g.streamNext, IsWrite: write}, true
+		return Access{Block: streamBase + g.core*coreStride + g.streamNext, IsWrite: write}
 	}
+}
+
+// NextData returns the data access for one instruction, or ok=false when
+// the instruction performs no memory operation.
+func (g *Generator) NextData() (Access, bool) {
+	if !g.WantData() {
+		return Access{}, false
+	}
+	return g.DataAccess(), true
 }
