@@ -5,10 +5,17 @@
 //
 //	soproc -list                 list experiment IDs
 //	soproc -exp fig4.6           run one experiment
+//	soproc -exp fig4.6 -format csv   ... as CSV (formats: table, csv;
+//	                             anything else is a usage error, exit 2)
 //	soproc -all                  run every experiment
 //	soproc -all -parallel 8      ... on an 8-worker engine
 //	soproc -all -timeout 2m      ... aborting after two minutes
 //	soproc -bench                time the kernels, write BENCH_kernel.json
+//
+// To serve the same experiments and ad-hoc sweeps over HTTP from a
+// long-running process, see cmd/soprocd; its /v1/exp/{id} responses are
+// byte-identical to this CLI's stdout for the same experiment and
+// format.
 //
 // Experiments run on the parallel, memoizing engine (internal/exp):
 // sweep points fan out across -parallel workers (default GOMAXPROCS)
@@ -57,19 +64,21 @@ func main() {
 		return
 	}
 
+	// An unknown -format must be a hard usage error, not a silent fall
+	// back to table output.
+	render, err := figures.Renderer(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soproc:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	eng := exp.New(*parallel)
 	ctx := exp.WithEngine(context.Background(), eng)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-	}
-
-	render := func(t figures.Table) string {
-		if *format == "csv" {
-			return t.CSV()
-		}
-		return t.String()
 	}
 
 	start := time.Now()
@@ -98,9 +107,9 @@ func main() {
 		os.Exit(2)
 	}
 	if *verbose {
-		hits, misses := eng.Stats()
+		st := eng.Stats()
 		fmt.Fprintf(os.Stderr, "soproc: %d workers, %d points simulated, %d served from memo, %s\n",
-			eng.Workers(), misses, hits, time.Since(start).Round(time.Millisecond))
+			eng.Workers(), st.Misses, st.Hits, time.Since(start).Round(time.Millisecond))
 	}
 }
 

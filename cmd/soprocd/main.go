@@ -1,0 +1,99 @@
+// Command soprocd serves the simulator over HTTP: a long-running
+// process that runs named experiments and ad-hoc sweeps on one shared
+// experiment engine, so concurrent clients exploring overlapping pod
+// configurations hit a common memo instead of re-simulating.
+//
+// Usage:
+//
+//	soprocd                          listen on :8080
+//	soprocd -addr 127.0.0.1:9090     custom listen address
+//	soprocd -parallel 8              8-worker engine (default GOMAXPROCS)
+//	soprocd -memo-cap 16384          memo capacity in entries (0 = unbounded)
+//	soprocd -drain 1m                graceful-shutdown drain window
+//
+// Endpoints (see internal/serve):
+//
+//	GET  /healthz              liveness probe
+//	GET  /statsz               engine statistics: memo hits, misses,
+//	                           evictions, resident size and capacity,
+//	                           in-flight work, worker count
+//	GET  /v1/experiments       registered experiment IDs
+//	GET  /v1/exp/{id}          one experiment (or "all"), format=table|csv;
+//	                           byte-identical to the soproc CLI's output
+//	POST /v1/sweep             batched ad-hoc sim/structural points
+//
+// Unlike the one-shot CLIs, the daemon bounds its memo (-memo-cap):
+// least-recently-used results are evicted under capacity pressure, so
+// memory stays bounded over an unbounded request stream, while
+// in-flight and waited-on entries are pinned and single-flight
+// semantics are preserved. On SIGINT/SIGTERM the server stops
+// accepting, drains in-flight requests for up to -drain, then cancels
+// whatever remains through the engine's context plumbing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	memoCap := flag.Int("memo-cap", 16384, "max resident memo entries (0 = unbounded)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+	flag.Parse()
+
+	eng := exp.NewBounded(*parallel, *memoCap)
+	srv := serve.New(eng)
+
+	// Request contexts derive from baseCtx; it stays live through the
+	// drain window so in-flight sweeps finish, then cancels the rest.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+		// A stalled client must not pin a connection (and its
+		// goroutine) forever; response writes are left untimed because
+		// a long experiment legitimately streams late.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("soprocd: shutting down, draining for up to %s", *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("soprocd: drain window expired, cancelling in-flight work: %v", err)
+		}
+		cancelBase()
+	}()
+
+	log.Printf("soprocd: listening on %s (%d workers, memo capacity %d)",
+		*addr, eng.Workers(), eng.MemoCapacity())
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("soprocd: %v", err)
+	}
+	<-done
+	st := eng.Stats()
+	log.Printf("soprocd: served %d memo hits, %d computations, %d evictions",
+		st.Hits, st.Misses, st.Evictions)
+}

@@ -8,6 +8,11 @@
 // models, and an EETCO-style cost model).
 //
 // Start with examples/quickstart, or regenerate any of the thesis's
-// tables and figures with cmd/soproc. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-vs-measured results.
+// tables and figures with cmd/soproc. To serve the simulator as a
+// long-running shared service — named experiments and ad-hoc
+// configuration sweeps over HTTP/JSON, with a capacity-bounded memo —
+// run cmd/soprocd (endpoints: /healthz, /statsz, /v1/experiments,
+// /v1/exp/{id}, /v1/sweep; see internal/serve and examples/serveclient).
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
 package scaleout

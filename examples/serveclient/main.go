@@ -1,0 +1,99 @@
+// Serveclient: the soprocd HTTP service, demonstrated end to end in
+// one process. Starts the serve layer (internal/serve) on a loopback
+// listener — exactly what `soprocd` runs behind its flags — then acts
+// as a client: discovers the experiment registry, fetches a figure as
+// CSV, posts an ad-hoc /v1/sweep batch with a deliberately duplicated
+// point, and reads /statsz to show the duplicate was a memo hit.
+//
+// Against a real deployment, replace the base URL with the daemon's
+// address; the wire format is identical.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/serve"
+	"scaleout/internal/workload"
+)
+
+func main() {
+	// A bounded engine, as soprocd runs: memory stays bounded no matter
+	// how many distinct configurations clients sweep.
+	eng := exp.NewBounded(0, 1024)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, serve.New(eng).Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	var exps serve.ExperimentsResponse
+	getJSON(base+"/v1/experiments", &exps)
+	fmt.Printf("\n%d experiments registered; first five: %s\n",
+		len(exps.Experiments), strings.Join(exps.Experiments[:5], ", "))
+
+	fmt.Println("\n== GET /v1/exp/fig2.1?format=csv (byte-identical to `soproc -exp fig2.1 -format csv`) ==")
+	fmt.Print(getText(base + "/v1/exp/fig2.1?format=csv"))
+
+	fmt.Println("== POST /v1/sweep: a 16-core pod across LLC sizes, one point duplicated ==")
+	req := serve.SweepRequest{Points: []serve.SweepPoint{
+		{Workload: workload.DataServing, Core: "ooo", Cores: 16, LLCMB: 2},
+		{Workload: workload.DataServing, Core: "ooo", Cores: 16, LLCMB: 4},
+		{Workload: workload.DataServing, Core: "ooo", Cores: 16, LLCMB: 8},
+		{Workload: workload.DataServing, Core: "ooo", Cores: 16, LLCMB: 4}, // memo hit
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sweep serve.SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sweep); err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range sweep.Results {
+		fmt.Printf("  point %d: %4.0fMB LLC  AppIPC %5.2f  off-chip %5.1f GB/s\n",
+			i, req.Points[i].LLCMB, r.Sim.AppIPC, r.Sim.OffChipGBs)
+	}
+
+	var stats serve.StatsResponse
+	getJSON(base+"/statsz", &stats)
+	fmt.Printf("\n/statsz: %d computed, %d served from memo, %d evicted (capacity %d)\n",
+		stats.Memo.Misses, stats.Memo.Hits, stats.Memo.Evictions, stats.Memo.Capacity)
+}
+
+func getText(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, b)
+	}
+	return string(b)
+}
+
+func getJSON(url string, v any) {
+	body := getText(url)
+	if err := json.Unmarshal([]byte(body), v); err != nil {
+		log.Fatal(err)
+	}
+}

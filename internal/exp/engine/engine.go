@@ -1,8 +1,17 @@
 // Package engine provides the worker pool and memo that back the
 // experiment layer (internal/exp): a fixed-size pool that bounds
-// concurrent computations, context cancellation, and a process-wide
-// memo keyed by canonical configuration fingerprints so identical
-// points are computed exactly once.
+// concurrent computations, context cancellation, and a memo keyed by
+// canonical configuration fingerprints so identical points are computed
+// exactly once while resident.
+//
+// The memo is optionally capacity-bounded (NewBounded): a long-running
+// process — cmd/soprocd serving ad-hoc sweeps — caps its resident
+// entries and evicts in least-recently-used order, while the one-shot
+// CLIs keep the unbounded memo (New) whose behaviour is identical to a
+// plain per-process cache. Eviction never weakens the single-flight
+// guarantee: entries that are in flight or being waited on are pinned
+// and cannot be evicted, so two concurrent requests for one key still
+// share one computation.
 //
 // It lives below the simulator so that packages the experiment layer
 // itself drives can share the pool without an import cycle —
@@ -22,52 +31,110 @@ import (
 )
 
 // Engine is a parallel, memoizing work runner. The zero value is not
-// usable; construct with New. An Engine is safe for concurrent use by
-// any number of goroutines; its memo is shared across all work run on
-// it for the life of the process.
+// usable; construct with New or NewBounded. An Engine is safe for
+// concurrent use by any number of goroutines; its memo is shared across
+// all work run on it for the life of the process.
 type Engine struct {
-	sem  chan struct{} // one slot per worker
-	mu   sync.Mutex
-	memo map[string]*memoEntry
+	sem chan struct{} // one slot per worker
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu       sync.Mutex
+	memo     map[string]*memoEntry
+	capacity int // max resident memo entries; 0 = unbounded
+	// Intrusive LRU list over the evictable entries: complete and
+	// currently unreferenced. lruHead is the most recently used,
+	// lruTail the eviction candidate. Pinned entries (refs > 0 —
+	// in flight, or being waited on) are never on this list.
+	lruHead, lruTail *memoEntry
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	inflight  atomic.Int64 // computations currently executing
 }
 
 // memoEntry is the memo slot for one key. done is closed once val/err
 // are final, so concurrent requests for an in-flight key wait instead of
-// recomputing.
+// recomputing. refs (guarded by Engine.mu) counts the owner computing
+// the entry plus every waiter; while refs > 0 the entry is pinned —
+// off the LRU list and ineligible for eviction.
 type memoEntry struct {
+	key  string
 	done chan struct{}
 	val  any
 	err  error
+
+	refs       int
+	prev, next *memoEntry
+	inLRU      bool
 }
 
-// New returns an engine with the given worker-pool size; workers <= 0
-// selects GOMAXPROCS.
-func New(workers int) *Engine {
+// New returns an engine with the given worker-pool size and an
+// unbounded memo; workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Engine { return NewBounded(workers, 0) }
+
+// NewBounded returns an engine whose memo holds at most capacity
+// resident entries, evicting the least recently used complete entry
+// when a new key would exceed it; capacity <= 0 means unbounded.
+// Entries that are in flight or being waited on are pinned and never
+// evicted, so the resident count can transiently exceed capacity when
+// more than capacity keys are referenced at once.
+func NewBounded(workers, capacity int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if capacity < 0 {
+		capacity = 0
+	}
 	return &Engine{
-		sem:  make(chan struct{}, workers),
-		memo: make(map[string]*memoEntry),
+		sem:      make(chan struct{}, workers),
+		memo:     make(map[string]*memoEntry),
+		capacity: capacity,
 	}
 }
 
 // Workers reports the worker-pool size.
 func (e *Engine) Workers() int { return cap(e.sem) }
 
-// Stats reports memo hits (work served from cache, including waits on
-// in-flight duplicates) and misses (work actually computed).
-func (e *Engine) Stats() (hits, misses int64) {
-	return e.hits.Load(), e.misses.Load()
+// MemoCapacity reports the memo's resident-entry bound; 0 is unbounded.
+func (e *Engine) MemoCapacity() int { return e.capacity }
+
+// Stats is a snapshot of an engine's counters.
+type Stats struct {
+	// Hits counts work served from the memo, including waits on
+	// in-flight duplicates. Misses counts work actually computed.
+	Hits, Misses int64
+	// Evictions counts memo entries discarded to stay within
+	// MemoCapacity; an evicted key is recomputed on next request.
+	Evictions int64
+	// InFlight is the number of computations executing right now.
+	InFlight int64
+	// MemoSize is the number of resident memo entries; at most
+	// MemoCapacity when bounded, except transiently while more than
+	// MemoCapacity entries are pinned. MemoCapacity 0 means unbounded.
+	MemoSize     int
+	MemoCapacity int
+}
+
+// Stats snapshots the engine's memo and work counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	size := len(e.memo)
+	e.mu.Unlock()
+	return Stats{
+		Hits:         e.hits.Load(),
+		Misses:       e.misses.Load(),
+		Evictions:    e.evictions.Load(),
+		InFlight:     e.inflight.Load(),
+		MemoSize:     size,
+		MemoCapacity: e.capacity,
+	}
 }
 
 var defaultEngine = New(0)
 
-// Default returns the process-wide engine: GOMAXPROCS workers and a
-// memo shared by everything that does not install its own engine.
+// Default returns the process-wide engine: GOMAXPROCS workers and an
+// unbounded memo shared by everything that does not install its own
+// engine.
 func Default() *Engine { return defaultEngine }
 
 type ctxKey struct{}
@@ -95,9 +162,11 @@ func Fingerprint(v any) string { return fmt.Sprintf("%#v", v) }
 
 // Do runs compute under a worker slot, memoized by key. Two calls with
 // equal non-empty keys must describe identical computations; the engine
-// computes each distinct key at most once per process and serves later
-// requests from the memo (in-flight duplicates wait on the first
-// computation). An empty key disables memoization for the call.
+// computes each distinct key at most once while it stays resident and
+// serves later requests from the memo (in-flight duplicates wait on the
+// first computation). On a bounded engine a key evicted under capacity
+// pressure is recomputed on its next request; a key is never computed
+// twice concurrently. An empty key disables memoization for the call.
 //
 // compute must not call back into the same engine: it runs while
 // holding a worker slot, so nested calls can exhaust the pool and
@@ -110,6 +179,8 @@ func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)
 			return nil, err
 		}
 		defer e.release()
+		e.inflight.Add(1)
+		defer e.inflight.Add(-1)
 		return compute()
 	}
 
@@ -117,26 +188,36 @@ func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)
 	for {
 		e.mu.Lock()
 		if existing, ok := e.memo[key]; ok {
+			// Pin while waiting so capacity pressure from other keys
+			// cannot evict an entry someone is relying on.
+			e.pinLocked(existing)
 			e.mu.Unlock()
 			select {
 			case <-existing.done:
-				if IsCancellation(existing.err) {
+				val, err := existing.val, existing.err
+				e.unpin(existing)
+				if IsCancellation(err) {
 					// The owner was cancelled before it could compute
 					// and withdrew the entry; retry under our own
 					// context rather than inheriting its cancellation.
 					continue
 				}
 				e.hits.Add(1)
-				if existing.err != nil {
-					return nil, existing.err
+				if err != nil {
+					return nil, err
 				}
-				return existing.val, nil
+				return val, nil
 			case <-ctx.Done():
+				e.unpin(existing)
 				return nil, ctx.Err()
 			}
 		}
-		ent = &memoEntry{done: make(chan struct{})}
+		ent = &memoEntry{key: key, done: make(chan struct{}), refs: 1}
 		e.memo[key] = ent
+		// The insert may push the memo over capacity; evict the
+		// least recently used unpinned entry (never this one — it is
+		// pinned by its owner ref until the computation finishes).
+		e.trimLocked()
 		e.mu.Unlock()
 		break
 	}
@@ -145,28 +226,110 @@ func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)
 		// Never computed: withdraw the entry so a later call can retry,
 		// and release current waiters with the cancellation.
 		e.mu.Lock()
-		delete(e.memo, key)
+		if e.memo[key] == ent {
+			delete(e.memo, key)
+		}
+		ent.refs-- // owner ref; withdrawn, so never enters the LRU
 		e.mu.Unlock()
 		ent.err = err
 		close(ent.done)
 		return nil, err
 	}
 	e.misses.Add(1)
+	e.inflight.Add(1)
 	ent.val, ent.err = compute()
+	e.inflight.Add(-1)
 	e.release()
 	if IsCancellation(ent.err) {
 		// A cancellation is not a fact about the key; withdraw the
 		// entry (before closing done, so woken waiters re-find an empty
 		// slot) so another call can compute it for real.
 		e.mu.Lock()
-		delete(e.memo, key)
+		if e.memo[key] == ent {
+			delete(e.memo, key)
+		}
 		e.mu.Unlock()
 	}
 	close(ent.done)
+	e.unpin(ent) // drop the owner pin; a resident complete entry joins the LRU
 	if ent.err != nil {
 		return nil, ent.err
 	}
 	return ent.val, nil
+}
+
+// pinLocked takes a reference on ent, removing it from the LRU list if
+// it was evictable. On an unbounded engine nothing can ever be evicted,
+// so the bookkeeping (and unpin's second lock acquisition on the memo
+// hit path) is skipped entirely. Callers hold e.mu.
+func (e *Engine) pinLocked(ent *memoEntry) {
+	if e.capacity == 0 {
+		return
+	}
+	ent.refs++
+	if ent.inLRU {
+		e.lruRemoveLocked(ent)
+	}
+}
+
+// unpin drops a reference on ent. The last reference moves a resident
+// (non-withdrawn) entry to the front of the LRU list — by then it is
+// complete, since the owner's computation holds a reference — and
+// applies capacity pressure.
+func (e *Engine) unpin(ent *memoEntry) {
+	if e.capacity == 0 {
+		return
+	}
+	e.mu.Lock()
+	ent.refs--
+	if ent.refs == 0 && e.memo[ent.key] == ent {
+		e.lruPushFrontLocked(ent)
+		e.trimLocked()
+	}
+	e.mu.Unlock()
+}
+
+// trimLocked evicts least-recently-used unpinned entries until the memo
+// fits its capacity. If every resident entry is pinned the memo may
+// transiently exceed capacity; the next unpin re-applies the bound.
+// Callers hold e.mu.
+func (e *Engine) trimLocked() {
+	for e.capacity > 0 && len(e.memo) > e.capacity {
+		victim := e.lruTail
+		if victim == nil {
+			return
+		}
+		e.lruRemoveLocked(victim)
+		delete(e.memo, victim.key)
+		e.evictions.Add(1)
+	}
+}
+
+func (e *Engine) lruPushFrontLocked(ent *memoEntry) {
+	ent.inLRU = true
+	ent.prev = nil
+	ent.next = e.lruHead
+	if e.lruHead != nil {
+		e.lruHead.prev = ent
+	} else {
+		e.lruTail = ent
+	}
+	e.lruHead = ent
+}
+
+func (e *Engine) lruRemoveLocked(ent *memoEntry) {
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	} else {
+		e.lruHead = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	} else {
+		e.lruTail = ent.prev
+	}
+	ent.prev, ent.next = nil, nil
+	ent.inLRU = false
 }
 
 // IsCancellation reports whether err is a context cancellation or

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -25,8 +26,8 @@ func TestDoMemoizes(t *testing.T) {
 	if computed.Load() != 1 {
 		t.Fatalf("computed %d times, want 1", computed.Load())
 	}
-	if hits, misses := e.Stats(); hits != 4 || misses != 1 {
-		t.Fatalf("stats %d/%d, want 4 hits / 1 miss", hits, misses)
+	if st := e.Stats(); st.Hits != 4 || st.Misses != 1 {
+		t.Fatalf("stats %d/%d, want 4 hits / 1 miss", st.Hits, st.Misses)
 	}
 }
 
@@ -100,6 +101,192 @@ func TestDoConcurrentDuplicates(t *testing.T) {
 	wg.Wait()
 	if computed.Load() != 1 {
 		t.Fatalf("computed %d times, want 1", computed.Load())
+	}
+}
+
+// A bounded memo holds at most its capacity once work quiesces, evicts
+// in LRU order, and recomputes evicted keys on their next request.
+func TestBoundedEviction(t *testing.T) {
+	e := NewBounded(2, 2)
+	var computed atomic.Int64
+	do := func(key string) {
+		t.Helper()
+		if _, err := e.Do(context.Background(), key, func() (any, error) {
+			computed.Add(1)
+			return key, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	do("a")
+	do("b")
+	do("a") // hit; refreshes a's recency so b is now the LRU entry
+	do("c") // over capacity: evicts b
+	st := e.Stats()
+	if st.Evictions != 1 || st.MemoSize != 2 || st.MemoCapacity != 2 {
+		t.Fatalf("stats after churn: %+v, want 1 eviction, size 2, capacity 2", st)
+	}
+	missesBefore := st.Misses
+	do("a") // still resident
+	if misses := e.Stats().Misses; misses != missesBefore {
+		t.Fatalf("a was evicted despite being most recently used (misses %d -> %d)", missesBefore, misses)
+	}
+	do("b") // evicted: recomputed, correct value
+	st = e.Stats()
+	if st.Misses != missesBefore+1 {
+		t.Fatalf("evicted key b not recomputed: %+v", st)
+	}
+	if st.MemoSize > 2 {
+		t.Fatalf("memo grew past capacity: %+v", st)
+	}
+	if computed.Load() != 4 {
+		t.Fatalf("computed %d times, want 4 (a, b, c, b-again)", computed.Load())
+	}
+}
+
+// In-flight entries are pinned: churning other keys past capacity never
+// evicts a computation someone is waiting on, and the waiter shares the
+// single flight.
+func TestBoundedPinnedInFlightNotEvicted(t *testing.T) {
+	e := NewBounded(4, 1)
+	var aComputes atomic.Int64
+	block := make(chan struct{})
+	started := make(chan struct{})
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, err := e.Do(context.Background(), "A", func() (any, error) {
+			aComputes.Add(1)
+			close(started)
+			<-block
+			return "va", nil
+		})
+		ownerDone <- err
+	}()
+	<-started
+
+	// Churn well past capacity while A is in flight and pinned.
+	for _, key := range []string{"b", "c", "d"} {
+		key := key
+		if _, err := e.Do(context.Background(), key, func() (any, error) { return key, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A waiter that arrives mid-flight must attach to the pinned entry,
+	// not recompute it.
+	waiterDone := make(chan any, 1)
+	go func() {
+		v, err := e.Do(context.Background(), "A", func() (any, error) {
+			aComputes.Add(1)
+			return "va", nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		waiterDone <- v
+	}()
+
+	close(block)
+	if err := <-ownerDone; err != nil {
+		t.Fatal(err)
+	}
+	if v := <-waiterDone; v != "va" {
+		t.Fatalf("waiter got %v", v)
+	}
+	if aComputes.Load() != 1 {
+		t.Fatalf("pinned in-flight key computed %d times, want 1", aComputes.Load())
+	}
+	st := e.Stats()
+	if st.MemoSize > 1 {
+		t.Fatalf("memo size %d exceeds capacity 1 after quiesce", st.MemoSize)
+	}
+	// The churn keys were evicted around the pinned entry.
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite churn past capacity")
+	}
+	// A completed last, so it is the resident entry.
+	missesBefore := st.Misses
+	if _, err := e.Do(context.Background(), "A", func() (any, error) {
+		aComputes.Add(1)
+		return "va", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Misses != missesBefore {
+		t.Fatal("completed pinned entry was evicted instead of retained")
+	}
+}
+
+// Concurrent churn far past capacity keeps single-flight semantics:
+// a key is never computed twice at once, values are always consistent,
+// and the memo stays bounded once the churn quiesces. Run under -race
+// this also exercises the pin/unpin and LRU bookkeeping for races.
+func TestBoundedConcurrentChurn(t *testing.T) {
+	const (
+		keys       = 16
+		capacity   = 4
+		goroutines = 8
+		iterations = 200
+	)
+	e := NewBounded(goroutines, capacity)
+	var running [keys]atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				k := (g*7 + i) % keys
+				key := fmt.Sprintf("k%d", k)
+				v, err := e.Do(context.Background(), key, func() (any, error) {
+					if n := running[k].Add(1); n != 1 {
+						return nil, fmt.Errorf("key %s: %d concurrent computations", key, n)
+					}
+					defer running[k].Add(-1)
+					return k * k, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.(int) != k*k {
+					t.Errorf("key %s = %v, want %d", key, v, k*k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.MemoSize > capacity {
+		t.Fatalf("memo size %d exceeds capacity %d after quiesce", st.MemoSize, capacity)
+	}
+	if st.Hits+st.Misses != goroutines*iterations {
+		t.Fatalf("hits %d + misses %d != %d requests", st.Hits, st.Misses, goroutines*iterations)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight %d after quiesce", st.InFlight)
+	}
+}
+
+// A long sweep over many more distinct keys than the capacity keeps the
+// memo bounded: the soak behind soprocd's bounded-memory guarantee.
+func TestBoundedSoak(t *testing.T) {
+	const capacity = 8
+	e := NewBounded(4, capacity)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("cfg%d", i)
+		if _, err := e.Do(context.Background(), key, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.MemoSize > capacity {
+		t.Fatalf("memo size %d exceeds capacity %d", st.MemoSize, capacity)
+	}
+	if st.Misses != 1000 || st.Evictions != 1000-capacity {
+		t.Fatalf("stats %+v, want 1000 misses and %d evictions", st, 1000-capacity)
 	}
 }
 

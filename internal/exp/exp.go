@@ -33,9 +33,21 @@ import (
 // all batches run on it for the life of the process.
 type Engine = engine.Engine
 
-// New returns an engine with the given worker-pool size; workers <= 0
-// selects GOMAXPROCS.
+// Stats is a snapshot of an engine's memo and work counters
+// (engine.Stats).
+type Stats = engine.Stats
+
+// New returns an engine with the given worker-pool size and an
+// unbounded memo; workers <= 0 selects GOMAXPROCS.
 func New(workers int) *Engine { return engine.New(workers) }
+
+// NewBounded returns an engine whose memo holds at most capacity
+// resident entries, evicting least-recently-used complete entries under
+// pressure; capacity <= 0 means unbounded. In-flight and waited-on
+// entries are pinned and never evicted, so single-flight semantics are
+// unchanged. This is the constructor for long-running processes
+// (cmd/soprocd); the one-shot CLIs use New.
+func NewBounded(workers, capacity int) *Engine { return engine.NewBounded(workers, capacity) }
 
 // Default returns the process-wide engine: GOMAXPROCS workers and a
 // memo shared by everything that does not install its own engine.
@@ -56,6 +68,10 @@ func FromContext(ctx context.Context) *Engine { return engine.FromContext(ctx) }
 // map fields in sorted key order, so two equal values always produce the
 // same string regardless of construction order.
 func Fingerprint(v any) string { return engine.Fingerprint(v) }
+
+// IsCancellation reports whether err is a context cancellation or
+// deadline rather than a genuine computation failure.
+func IsCancellation(err error) bool { return engine.IsCancellation(err) }
 
 // FirstError selects a batch's reportable error: the first genuine
 // failure in input order or, if every error is a cancellation, the

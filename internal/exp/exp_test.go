@@ -46,9 +46,9 @@ func TestMemoDeduplicates(t *testing.T) {
 	if got := computed.Load(); got != 1 {
 		t.Fatalf("computed %d times, want exactly 1", got)
 	}
-	hits, misses := e.Stats()
-	if misses != 1 || hits != 19 {
-		t.Fatalf("stats: %d hits, %d misses; want 19/1", hits, misses)
+	st := e.Stats()
+	if st.Misses != 1 || st.Hits != 19 {
+		t.Fatalf("stats: %d hits, %d misses; want 19/1", st.Hits, st.Misses)
 	}
 }
 
@@ -133,8 +133,8 @@ func TestSimsMemoized(t *testing.T) {
 			t.Fatalf("memoized result %d differs", i)
 		}
 	}
-	if _, misses := e.Stats(); misses != 2 {
-		t.Fatalf("%d simulations ran, want 2", misses)
+	if st := e.Stats(); st.Misses != 2 {
+		t.Fatalf("%d simulations ran, want 2", st.Misses)
 	}
 }
 

@@ -58,7 +58,7 @@ func TestRunMemoizesAcrossRepeats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, missesAfterFirst := eng.Stats()
+	missesAfterFirst := eng.Stats().Misses
 	if missesAfterFirst == 0 {
 		t.Fatal("fig2.1 ran no simulations")
 	}
@@ -66,7 +66,7 @@ func TestRunMemoizesAcrossRepeats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, misses := eng.Stats(); misses != missesAfterFirst {
+	if misses := eng.Stats().Misses; misses != missesAfterFirst {
 		t.Fatalf("repeat ran %d new simulations", misses-missesAfterFirst)
 	}
 	if first.String() != second.String() {
@@ -86,11 +86,11 @@ func TestCrossFigureDeduplication(t *testing.T) {
 	if _, err := RunContext(ctx, "fig4.6"); err != nil {
 		t.Fatal(err)
 	}
-	_, missesAfter46 := eng.Stats()
+	missesAfter46 := eng.Stats().Misses
 	if _, err := RunContext(ctx, "power4.4"); err != nil {
 		t.Fatal(err)
 	}
-	if _, misses := eng.Stats(); misses != missesAfter46 {
+	if misses := eng.Stats().Misses; misses != missesAfter46 {
 		t.Fatalf("power4.4 ran %d simulations despite sharing every point with fig4.6",
 			misses-missesAfter46)
 	}

@@ -64,7 +64,9 @@ func (t Table) String() string {
 }
 
 // CSV renders the table as comma-separated values (headers first), for
-// piping into plotting tools.
+// piping into plotting tools. Cells containing a comma, quote, or line
+// break are quoted per RFC 4180 — an embedded newline must not split a
+// cell across CSV records.
 func (t Table) CSV() string {
 	var b strings.Builder
 	quote := func(cells []string) {
@@ -72,7 +74,7 @@ func (t Table) CSV() string {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			if strings.ContainsAny(c, ",\"") {
+			if strings.ContainsAny(c, ",\"\n\r") {
 				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
 			}
 			b.WriteString(c)
@@ -84,6 +86,25 @@ func (t Table) CSV() string {
 		quote(row)
 	}
 	return b.String()
+}
+
+// Formats lists the output formats Renderer accepts.
+func Formats() []string { return []string{"table", "csv"} }
+
+// Renderer maps an output-format name to its rendering function. The
+// soproc CLI (-format) and the soprocd HTTP service (format= query
+// parameter) share this lookup, so both reject exactly the same set of
+// unknown formats.
+func Renderer(format string) (func(Table) string, error) {
+	switch format {
+	case "table":
+		return Table.String, nil
+	case "csv":
+		return Table.CSV, nil
+	default:
+		return nil, fmt.Errorf("figures: unknown format %q (want %s)",
+			format, strings.Join(Formats(), " or "))
+	}
 }
 
 // Generator produces one experiment's table. Generators declare their

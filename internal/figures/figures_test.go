@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"encoding/csv"
 	"strconv"
 	"strings"
 	"testing"
@@ -32,6 +33,68 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	}
 	if len(IDs()) != len(want) {
 		t.Errorf("registered %d experiments, inventory has %d", len(IDs()), len(want))
+	}
+}
+
+// CSV must quote every cell containing a comma, quote, or line break;
+// an unquoted embedded newline would split one cell across two CSV
+// records and silently corrupt the row structure.
+func TestCSVQuoting(t *testing.T) {
+	tbl := Table{
+		Headers: []string{"name", "value"},
+		Rows: [][]string{
+			{"multi\nline", "cr\rcell"},
+			{"comma,cell", "quoted\"cell"},
+			{"plain", "1.0"},
+		},
+	}
+	got := tbl.CSV()
+	want := "name,value\n" +
+		"\"multi\nline\",\"cr\rcell\"\n" +
+		"\"comma,cell\",\"quoted\"\"cell\"\n" +
+		"plain,1.0\n"
+	if got != want {
+		t.Fatalf("CSV()\n got %q\nwant %q", got, want)
+	}
+	// A standard CSV reader must recover the original cells.
+	records, err := csv.NewReader(strings.NewReader(got)).ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv rejects our output: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("parsed %d records, want 4 (header + 3 rows)", len(records))
+	}
+	if records[1][0] != "multi\nline" {
+		t.Fatalf("newline cell round-tripped as %q", records[1][0])
+	}
+	if records[2][1] != "quoted\"cell" {
+		t.Fatalf("quote cell round-tripped as %q", records[2][1])
+	}
+}
+
+// Renderer accepts exactly the documented formats; the CLI's -format
+// flag and the serve layer's format= parameter share this validation.
+func TestRenderer(t *testing.T) {
+	tbl := Table{ID: "x", Title: "t", Headers: []string{"h"}, Rows: [][]string{{"v"}}}
+	for _, format := range Formats() {
+		render, err := Renderer(format)
+		if err != nil {
+			t.Fatalf("Renderer(%q): %v", format, err)
+		}
+		if render(tbl) == "" {
+			t.Fatalf("Renderer(%q) produced no output", format)
+		}
+	}
+	if table, _ := Renderer("table"); table(tbl) != tbl.String() {
+		t.Fatal("table renderer differs from Table.String")
+	}
+	if csvr, _ := Renderer("csv"); csvr(tbl) != tbl.CSV() {
+		t.Fatal("csv renderer differs from Table.CSV")
+	}
+	for _, bad := range []string{"xml", "json", "CSV", " csv", ""} {
+		if _, err := Renderer(bad); err == nil {
+			t.Errorf("Renderer(%q) accepted an unknown format", bad)
+		}
 	}
 }
 

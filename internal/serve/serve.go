@@ -1,0 +1,424 @@
+// Package serve implements the soprocd HTTP/JSON service: the
+// experiment engine behind a long-running endpoint, so many clients
+// sweeping overlapping pod configurations share one worker pool and one
+// bounded memo, and repeated design points become cache hits instead of
+// simulations.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness probe ("ok")
+//	GET  /statsz               engine statistics (memo hits/misses/
+//	                           evictions, in-flight work, pool size)
+//	GET  /v1/experiments       registered experiment IDs (JSON)
+//	GET  /v1/exp/{id}          run one experiment; id "all" runs every
+//	                           experiment in ID order. format=table|csv
+//	                           selects the rendering; the body is
+//	                           byte-identical to the soproc CLI's stdout
+//	                           for the same experiment and format.
+//	POST /v1/sweep             ad-hoc batched sweep: JSON points
+//	                           (statistical or structural simulator)
+//	                           fanned out across the worker pool,
+//	                           results in input order.
+//
+// Every request runs on the server's engine via the same context
+// plumbing the CLIs use: a disconnecting client cancels its points, and
+// process shutdown drains in-flight work before cancelling the rest.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/figures"
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// MaxSweepPoints bounds one /v1/sweep request; larger design-space
+// scans should batch across requests so no single client can monopolize
+// the pool's queue.
+const MaxSweepPoints = 4096
+
+// Server routes the soprocd endpoints onto one experiment engine.
+// Construct with New; the zero value is not usable.
+type Server struct {
+	eng   *exp.Engine
+	mux   *http.ServeMux
+	known map[string]bool // registered experiment IDs
+	start time.Time
+}
+
+// New returns a server running every request on eng (nil selects the
+// process-wide default engine).
+func New(eng *exp.Engine) *Server {
+	if eng == nil {
+		eng = exp.Default()
+	}
+	s := &Server{
+		eng:   eng,
+		mux:   http.NewServeMux(),
+		known: make(map[string]bool),
+		start: time.Now(),
+	}
+	for _, id := range figures.IDs() {
+		s.known[id] = true
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/exp/{id}", s.handleExp)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// MemoStats is the memo section of the /statsz response.
+type MemoStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"` // 0 = unbounded
+}
+
+// StatsResponse is the /statsz body.
+type StatsResponse struct {
+	Workers       int       `json:"workers"`
+	InFlight      int64     `json:"in_flight"`
+	Memo          MemoStats `json:"memo"`
+	Experiments   int       `json:"experiments"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Workers:  s.eng.Workers(),
+		InFlight: st.InFlight,
+		Memo: MemoStats{
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Size:      st.MemoSize,
+			Capacity:  st.MemoCapacity,
+		},
+		Experiments:   len(s.known),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// ExperimentsResponse is the /v1/experiments body.
+type ExperimentsResponse struct {
+	Experiments []string `json:"experiments"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ExperimentsResponse{Experiments: figures.IDs()})
+}
+
+func (s *Server) handleExp(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "table"
+	}
+	// Reject unknown formats exactly as the soproc CLI does (same
+	// validation, figures.Renderer), rather than silently falling back.
+	render, err := figures.Renderer(format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if id != "all" && !s.known[id] {
+		http.Error(w, fmt.Sprintf("unknown experiment %q (see /v1/experiments)", id), http.StatusNotFound)
+		return
+	}
+
+	ctx := exp.WithEngine(r.Context(), s.eng)
+	var tables []figures.Table
+	if id == "all" {
+		tables, err = figures.RunAllContext(ctx)
+	} else {
+		var t figures.Table
+		t, err = figures.RunContext(ctx, id)
+		tables = []figures.Table{t}
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if exp.IsCancellation(err) {
+			// The client went away or the server is draining; the
+			// engine has already withdrawn the unfinished points.
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	// One rendered table per line group with a trailing blank separator
+	// — the same framing the CLI's fmt.Println produces, so a response
+	// body diffs clean against `soproc -exp <id> -format <format>`.
+	for _, t := range tables {
+		io.WriteString(w, render(t))
+		io.WriteString(w, "\n")
+	}
+}
+
+// SweepPoint is one ad-hoc simulation request in a /v1/sweep batch. A
+// point names its workload and core type symbolically; the server
+// resolves them against the calibrated models, applies the simulator's
+// usual defaults, and memoizes by the same canonical fingerprint the
+// experiment generators use — a point shared with a figure sweep is a
+// cache hit.
+type SweepPoint struct {
+	// Kind selects the simulator: "sim" (statistical, the default) or
+	// "structural".
+	Kind string `json:"kind,omitempty"`
+
+	// Workload is the CloudSuite workload name as in the thesis
+	// figures, e.g. "Web Search" (see workload.Names).
+	Workload string `json:"workload"`
+
+	// Core is the core microarchitecture: "conventional", "ooo", or
+	// "in-order".
+	Core string `json:"core"`
+
+	Cores int     `json:"cores"`
+	LLCMB float64 `json:"llc_mb"`
+
+	// Net names the interconnect: "ideal", "crossbar" (default),
+	// "mesh", "flattened-butterfly", or "noc-out". LLCTiles and
+	// LinkBits require an explicit Net (LLCTiles "noc-out" only);
+	// on other nets they would be ignored by the simulator while
+	// still splitting the memo fingerprint, so they are rejected.
+	Net      string `json:"net,omitempty"`
+	LLCTiles int    `json:"llc_tiles,omitempty"` // NOC-Out LLC tiles
+	LinkBits int    `json:"link_bits,omitempty"` // link width override
+
+	MemChannels   int    `json:"mem_channels,omitempty"`
+	WarmupCycles  int    `json:"warmup_cycles,omitempty"`
+	MeasureCycles int    `json:"measure_cycles,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+
+	// DisableSWScaling applies to kind "sim" only.
+	DisableSWScaling bool `json:"disable_sw_scaling,omitempty"`
+	// L1MSHRs applies to kind "structural" only.
+	L1MSHRs int `json:"l1_mshrs,omitempty"`
+}
+
+// SweepRequest is the /v1/sweep body.
+type SweepRequest struct {
+	Points []SweepPoint `json:"points"`
+}
+
+// SweepResult is one point's outcome, in input order; exactly one of
+// Sim/Structural is set, matching the point's kind.
+type SweepResult struct {
+	Kind       string                `json:"kind"`
+	Sim        *sim.Result           `json:"sim,omitempty"`
+	Structural *sim.StructuralResult `json:"structural,omitempty"`
+}
+
+// SweepResponse is the /v1/sweep response body.
+type SweepResponse struct {
+	Results []SweepResult `json:"results"`
+}
+
+// maxSweepBody bounds the /v1/sweep request body: the decoder
+// allocates the whole value before the point-count check can run, so
+// the byte cap is what actually protects the daemon's memory. 8MB is
+// ~2KB per point at MaxSweepPoints.
+const maxSweepBody = 8 << 20
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad sweep request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) == 0 {
+		http.Error(w, "sweep request has no points", http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) > MaxSweepPoints {
+		http.Error(w, fmt.Sprintf("sweep request has %d points, max %d", len(req.Points), MaxSweepPoints),
+			http.StatusBadRequest)
+		return
+	}
+
+	kinds := make([]string, len(req.Points))
+	pts := make([]exp.Point[any], len(req.Points))
+	for i, p := range req.Points {
+		kind, pt, err := p.point()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("point %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		kinds[i], pts[i] = kind, pt
+	}
+
+	ctx := exp.WithEngine(r.Context(), s.eng)
+	out, err := exp.Points(ctx, s.eng, pts)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if exp.IsCancellation(err) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	resp := SweepResponse{Results: make([]SweepResult, len(out))}
+	for i, v := range out {
+		resp.Results[i].Kind = kinds[i]
+		switch res := v.(type) {
+		case sim.Result:
+			r := res
+			resp.Results[i].Sim = &r
+		case sim.StructuralResult:
+			r := res
+			resp.Results[i].Structural = &r
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// point resolves the symbolic request into a typed engine point keyed
+// by the configuration's canonical fingerprint.
+func (p SweepPoint) point() (kind string, _ exp.Point[any], err error) {
+	w, ok := workload.ByName(p.Workload)
+	if !ok {
+		return "", nil, fmt.Errorf("unknown workload %q (want one of: %s)",
+			p.Workload, strings.Join(workload.Names(), ", "))
+	}
+	core, err := parseCore(p.Core)
+	if err != nil {
+		return "", nil, err
+	}
+	net, err := p.net()
+	if err != nil {
+		return "", nil, err
+	}
+	switch p.Kind {
+	case "", "sim":
+		cfg := sim.Config{
+			Workload: w, CoreType: core, Cores: p.Cores, LLCMB: p.LLCMB,
+			Net: net, MemChannels: p.MemChannels,
+			WarmupCycles: p.WarmupCycles, MeasureCycles: p.MeasureCycles,
+			Seed: p.Seed, DisableSWScaling: p.DisableSWScaling,
+		}
+		if p.L1MSHRs != 0 {
+			return "", nil, fmt.Errorf("l1_mshrs applies to structural points only")
+		}
+		if _, err := cfg.Canonical(); err != nil {
+			return "", nil, err
+		}
+		return "sim", exp.Func[any]{K: cfg.Key(), F: func() (any, error) {
+			return sim.Run(cfg)
+		}}, nil
+	case "structural":
+		if p.DisableSWScaling {
+			return "", nil, fmt.Errorf("disable_sw_scaling applies to sim points only")
+		}
+		cfg := sim.StructuralConfig{
+			Workload: w, CoreType: core, Cores: p.Cores, LLCMB: p.LLCMB,
+			Net: net, MemChannels: p.MemChannels,
+			WarmupCycles: p.WarmupCycles, MeasureCycles: p.MeasureCycles,
+			Seed: p.Seed, L1MSHRs: p.L1MSHRs,
+		}
+		if _, err := cfg.Canonical(); err != nil {
+			return "", nil, err
+		}
+		return "structural", exp.Func[any]{K: cfg.Key(), F: func() (any, error) {
+			return sim.RunStructural(cfg)
+		}}, nil
+	default:
+		return "", nil, fmt.Errorf("unknown kind %q (want sim or structural)", p.Kind)
+	}
+}
+
+// net builds the point's interconnect. An empty name leaves the zero
+// Config so the simulator applies its own crossbar default, keeping the
+// fingerprint identical to a CLI sweep that did the same; overrides on
+// a net that cannot use them are rejected rather than silently
+// splitting the memo key.
+func (p SweepPoint) net() (noc.Config, error) {
+	if p.Net == "" {
+		if p.LLCTiles != 0 || p.LinkBits != 0 {
+			return noc.Config{}, fmt.Errorf("llc_tiles/link_bits require an explicit net")
+		}
+		return noc.Config{}, nil
+	}
+	var kind noc.Kind
+	switch strings.ToLower(p.Net) {
+	case "ideal":
+		kind = noc.Ideal
+	case "crossbar":
+		kind = noc.Crossbar
+	case "mesh":
+		kind = noc.Mesh
+	case "flattened-butterfly", "fbfly":
+		kind = noc.FlattenedButterfly
+	case "noc-out", "nocout":
+		kind = noc.NOCOut
+	default:
+		return noc.Config{}, fmt.Errorf("unknown net %q (want ideal, crossbar, mesh, flattened-butterfly, or noc-out)", p.Net)
+	}
+	if p.LLCTiles != 0 && kind != noc.NOCOut {
+		return noc.Config{}, fmt.Errorf("llc_tiles applies to net \"noc-out\" only")
+	}
+	cfg := noc.New(kind, p.Cores)
+	if p.LLCTiles > 0 {
+		cfg.LLCTiles = p.LLCTiles
+	}
+	if p.LinkBits > 0 {
+		cfg = cfg.WithLinkBits(p.LinkBits)
+	}
+	return cfg, nil
+}
+
+func parseCore(name string) (tech.CoreType, error) {
+	switch strings.ToLower(name) {
+	case "conventional":
+		return tech.Conventional, nil
+	case "ooo", "out-of-order":
+		return tech.OoO, nil
+	case "in-order", "inorder":
+		return tech.InOrder, nil
+	default:
+		return 0, fmt.Errorf("unknown core %q (want conventional, ooo, or in-order)", name)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

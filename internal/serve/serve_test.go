@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/figures"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+func newTestServer(t *testing.T, eng *exp.Engine) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func postSweep(t *testing.T, url string, req SweepRequest) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// cheapPoint is a sweep point small enough to simulate in milliseconds.
+func cheapPoint(kind string, seed uint64) SweepPoint {
+	return SweepPoint{
+		Kind: kind, Workload: workload.WebSearch, Core: "ooo",
+		Cores: 2, LLCMB: 1, WarmupCycles: 2000, MeasureCycles: 2000, Seed: seed,
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, exp.New(2))
+	status, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", status, body)
+	}
+}
+
+func TestExperimentsListsRegistry(t *testing.T) {
+	ts := newTestServer(t, exp.New(2))
+	status, body := get(t, ts.URL+"/v1/experiments")
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var resp ExperimentsResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Experiments, figures.IDs()) {
+		t.Fatalf("experiments %v != figures.IDs() %v", resp.Experiments, figures.IDs())
+	}
+}
+
+// The HTTP body for an experiment must be byte-identical to what the
+// soproc CLI writes to stdout for the same experiment and format: one
+// rendered table followed by the Println newline.
+func cliOutput(t *testing.T, id, format string) string {
+	t.Helper()
+	render, err := figures.Renderer(format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := figures.RunContext(exp.WithEngine(context.Background(), exp.New(0)), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return render(tbl) + "\n"
+}
+
+func TestExpMatchesCLI(t *testing.T) {
+	ts := newTestServer(t, exp.New(0))
+	for _, format := range figures.Formats() {
+		status, body := get(t, fmt.Sprintf("%s/v1/exp/fig2.1?format=%s", ts.URL, format))
+		if status != http.StatusOK {
+			t.Fatalf("fig2.1 %s: status %d: %s", format, status, body)
+		}
+		if want := cliOutput(t, "fig2.1", format); body != want {
+			t.Fatalf("fig2.1 %s body differs from CLI output\n got %q\nwant %q", format, body, want)
+		}
+	}
+	// Default format is table, as in the CLI.
+	status, body := get(t, ts.URL+"/v1/exp/fig2.1")
+	if status != http.StatusOK || body != cliOutput(t, "fig2.1", "table") {
+		t.Fatalf("default format: status %d, body %q", status, body)
+	}
+}
+
+func TestExpFig46CSVMatchesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-core pod simulations are slow")
+	}
+	ts := newTestServer(t, exp.New(0))
+	status, body := get(t, ts.URL+"/v1/exp/fig4.6?format=csv")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if want := cliOutput(t, "fig4.6", "csv"); body != want {
+		t.Fatalf("fig4.6 CSV differs from `soproc -exp fig4.6 -format csv`\n got %q\nwant %q", body, want)
+	}
+}
+
+func TestExpErrors(t *testing.T) {
+	ts := newTestServer(t, exp.New(2))
+	if status, body := get(t, ts.URL+"/v1/exp/fig9.9"); status != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d, body %q", status, body)
+	}
+	// Unknown formats are rejected like the CLI's -format, never
+	// silently rendered as table.
+	status, body := get(t, ts.URL+"/v1/exp/fig2.1?format=xml")
+	if status != http.StatusBadRequest {
+		t.Fatalf("format=xml: status %d, body %q", status, body)
+	}
+	if !strings.Contains(body, `"xml"`) {
+		t.Fatalf("format error does not name the bad format: %q", body)
+	}
+}
+
+func TestSweepRunsAndDeduplicates(t *testing.T) {
+	eng := exp.New(2)
+	ts := newTestServer(t, eng)
+	req := SweepRequest{Points: []SweepPoint{
+		cheapPoint("sim", 1),
+		cheapPoint("sim", 1), // identical: must be served from the memo
+		cheapPoint("structural", 1),
+	}}
+	status, body := postSweep(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+
+	w, _ := workload.ByName(workload.WebSearch)
+	want, err := sim.Run(sim.Config{
+		Workload: w, CoreType: tech.OoO, Cores: 2, LLCMB: 1,
+		WarmupCycles: 2000, MeasureCycles: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Kind != "sim" || resp.Results[0].Sim == nil {
+		t.Fatalf("result 0 = %+v, want a sim result", resp.Results[0])
+	}
+	if *resp.Results[0].Sim != want {
+		t.Fatalf("sweep sim result %+v differs from direct sim.Run %+v", *resp.Results[0].Sim, want)
+	}
+	if *resp.Results[1].Sim != want {
+		t.Fatal("duplicate point returned a different result")
+	}
+	if resp.Results[2].Kind != "structural" || resp.Results[2].Structural == nil {
+		t.Fatalf("result 2 = %+v, want a structural result", resp.Results[2])
+	}
+	// Two distinct computations: the duplicated sim point was a memo hit.
+	if st := eng.Stats(); st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats %+v, want 2 misses / 1 hit", st)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	ts := newTestServer(t, exp.New(2))
+	cases := []struct {
+		name string
+		req  SweepRequest
+	}{
+		{"empty", SweepRequest{}},
+		{"unknown workload", SweepRequest{Points: []SweepPoint{{
+			Workload: "Crypto Mining", Core: "ooo", Cores: 2, LLCMB: 1}}}},
+		{"unknown core", SweepRequest{Points: []SweepPoint{{
+			Workload: workload.WebSearch, Core: "riscy", Cores: 2, LLCMB: 1}}}},
+		{"unknown kind", SweepRequest{Points: []SweepPoint{{
+			Kind: "quantum", Workload: workload.WebSearch, Core: "ooo", Cores: 2, LLCMB: 1}}}},
+		{"unknown net", SweepRequest{Points: []SweepPoint{{
+			Workload: workload.WebSearch, Core: "ooo", Cores: 2, LLCMB: 1, Net: "token-ring"}}}},
+		{"invalid config", SweepRequest{Points: []SweepPoint{{
+			Workload: workload.WebSearch, Core: "ooo", Cores: 0, LLCMB: 1}}}},
+		{"sim-only field on structural", SweepRequest{Points: []SweepPoint{{
+			Kind: "structural", Workload: workload.WebSearch, Core: "ooo",
+			Cores: 2, LLCMB: 1, DisableSWScaling: true}}}},
+		{"llc_tiles without a net", SweepRequest{Points: []SweepPoint{{
+			Workload: workload.WebSearch, Core: "ooo", Cores: 2, LLCMB: 1,
+			LLCTiles: 8}}}},
+		{"llc_tiles on a non-NOC-Out net", SweepRequest{Points: []SweepPoint{{
+			Workload: workload.WebSearch, Core: "ooo", Cores: 2, LLCMB: 1,
+			Net: "mesh", LLCTiles: 8}}}},
+	}
+	for _, tc := range cases {
+		if status, body := postSweep(t, ts.URL, tc.req); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %q, want 400", tc.name, status, body)
+		}
+	}
+}
+
+// Sweeping more distinct configurations than the memo capacity keeps
+// the resident set bounded and reports the evictions on /statsz — the
+// invariant that makes soprocd safe to leave running.
+func TestStatszReportsBoundedMemo(t *testing.T) {
+	const capacity = 1
+	eng := exp.NewBounded(2, capacity)
+	ts := newTestServer(t, eng)
+	for seed := uint64(1); seed <= 3; seed++ {
+		req := SweepRequest{Points: []SweepPoint{cheapPoint("sim", seed)}}
+		if status, body := postSweep(t, ts.URL, req); status != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, status, body)
+		}
+	}
+	status, body := get(t, ts.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz status %d", status)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Memo.Capacity != capacity {
+		t.Fatalf("statsz capacity %d, want %d", st.Memo.Capacity, capacity)
+	}
+	if st.Memo.Size > capacity {
+		t.Fatalf("memo size %d exceeds capacity %d", st.Memo.Size, capacity)
+	}
+	if st.Memo.Misses != 3 || st.Memo.Evictions != 2 {
+		t.Fatalf("statsz memo %+v, want 3 misses / 2 evictions", st.Memo)
+	}
+	if st.Workers != eng.Workers() || st.InFlight != 0 {
+		t.Fatalf("statsz %+v: bad workers/in-flight", st)
+	}
+}

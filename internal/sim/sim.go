@@ -63,18 +63,20 @@ type Config struct {
 	DisableSWScaling bool
 }
 
-// Result reports the measured behaviour of one simulation.
+// Result reports the measured behaviour of one simulation. The JSON
+// field names are the wire format of the soprocd sweep API
+// (internal/serve) and must stay stable.
 type Result struct {
-	Cycles          int
-	Instructions    uint64  // application instructions committed (all cores)
-	AppIPC          float64 // aggregate application IPC — the thesis metric
-	PerCoreIPC      float64
-	LLCAccesses     uint64
-	LLCMisses       uint64
-	SnoopRatePct    float64 // % of LLC accesses triggering a snoop (Fig 4.3)
-	AvgLLCLatency   float64 // average end-to-end LLC hit latency, cycles
-	OffChipGBs      float64 // average off-chip bandwidth used
-	DirectoryBlocks int     // blocks tracked by the coherence directory
+	Cycles          int     `json:"cycles"`
+	Instructions    uint64  `json:"instructions"` // application instructions committed (all cores)
+	AppIPC          float64 `json:"app_ipc"`      // aggregate application IPC — the thesis metric
+	PerCoreIPC      float64 `json:"per_core_ipc"`
+	LLCAccesses     uint64  `json:"llc_accesses"`
+	LLCMisses       uint64  `json:"llc_misses"`
+	SnoopRatePct    float64 `json:"snoop_rate_pct"`   // % of LLC accesses triggering a snoop (Fig 4.3)
+	AvgLLCLatency   float64 `json:"avg_llc_latency"`  // average end-to-end LLC hit latency, cycles
+	OffChipGBs      float64 `json:"off_chip_gbs"`     // average off-chip bandwidth used
+	DirectoryBlocks int     `json:"directory_blocks"` // blocks tracked by the coherence directory
 }
 
 // MissRatio returns LLC misses over accesses.

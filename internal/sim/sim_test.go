@@ -286,8 +286,8 @@ func TestSampledMemoized(t *testing.T) {
 			t.Fatalf("memoized sample %d differs", i)
 		}
 	}
-	if _, misses := e.Stats(); misses != 3 {
-		t.Fatalf("%d simulations ran, want 3", misses)
+	if st := e.Stats(); st.Misses != 3 {
+		t.Fatalf("%d simulations ran, want 3", st.Misses)
 	}
 }
 

@@ -36,13 +36,14 @@ type StructuralConfig struct {
 }
 
 // StructuralResult extends the timing results with the emergent cache
-// behaviour of the structural run.
+// behaviour of the structural run. As with Result, the JSON field names
+// are the soprocd sweep API's wire format.
 type StructuralResult struct {
 	Result
-	L1IMPKI      float64 // emergent L1-I misses per kilo-instruction
-	L1DMPKI      float64 // emergent L1-D misses per kilo-instruction
-	LLCMissPct   float64 // emergent LLC miss ratio (%)
-	MSHRStallPct float64 // % of cycles lost to full MSHRs
+	L1IMPKI      float64 `json:"l1i_mpki"`       // emergent L1-I misses per kilo-instruction
+	L1DMPKI      float64 `json:"l1d_mpki"`       // emergent L1-D misses per kilo-instruction
+	LLCMissPct   float64 `json:"llc_miss_pct"`   // emergent LLC miss ratio (%)
+	MSHRStallPct float64 `json:"mshr_stall_pct"` // % of cycles lost to full MSHRs
 }
 
 func (c *StructuralConfig) applyDefaults() error {
