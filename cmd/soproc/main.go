@@ -10,6 +10,10 @@
 //	soproc -all                  run every experiment
 //	soproc -all -parallel 8      ... on an 8-worker engine
 //	soproc -all -timeout 2m      ... aborting after two minutes
+//	soproc -all -peers a:8080,b:8080   ... sharded across a soprocd
+//	                             cluster by configuration fingerprint
+//	                             (internal/cluster); output is
+//	                             byte-identical to a local run
 //	soproc -bench                time the kernels, write BENCH_kernel.json
 //
 // To serve the same experiments and ad-hoc sweeps over HTTP from a
@@ -37,8 +41,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/figures"
 )
@@ -51,6 +57,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort if regeneration exceeds this duration (0 = none)")
 	verbose := flag.Bool("v", false, "report engine statistics on stderr")
+	peers := flag.String("peers", "", "comma-separated soprocd replicas (host:port) to shard simulator points across")
 	bench := flag.Bool("bench", false, "benchmark the simulation kernels and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_kernel.json", "benchmark report path (with -bench)")
 	benchIters := flag.Int("bench-iters", 5, "measured iterations per benchmark point (with -bench)")
@@ -74,6 +81,15 @@ func main() {
 	}
 
 	eng := exp.New(*parallel)
+	var coord *cluster.Coordinator
+	if *peers != "" {
+		var err error
+		coord, err = cluster.New(strings.Split(*peers, ","))
+		if err != nil {
+			fail(err)
+		}
+		eng.SetRoute(coord.Route)
+	}
 	ctx := exp.WithEngine(context.Background(), eng)
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -110,6 +126,14 @@ func main() {
 		st := eng.Stats()
 		fmt.Fprintf(os.Stderr, "soproc: %d workers, %d points simulated, %d served from memo, %s\n",
 			eng.Workers(), st.Misses, st.Hits, time.Since(start).Round(time.Millisecond))
+		if coord != nil {
+			cs := coord.Stats()
+			fmt.Fprintf(os.Stderr, "soproc: cluster: %d routed in %d posts, %d failovers, %d local fallbacks, %d unroutable\n",
+				cs.Routed, cs.Posts, cs.Failovers, cs.LocalFallbacks, cs.Unroutable)
+			for _, p := range cs.Peers {
+				fmt.Fprintf(os.Stderr, "soproc:   %s: %d points, %d failures\n", p.Addr, p.Sent, p.Failures)
+			}
+		}
 	}
 }
 

@@ -10,6 +10,8 @@
 //	soprocd -parallel 8              8-worker engine (default GOMAXPROCS)
 //	soprocd -memo-cap 16384          memo capacity in entries (0 = unbounded)
 //	soprocd -drain 1m                graceful-shutdown drain window
+//	soprocd -peers host:a,host:b     coordinate: shard sweep points across
+//	                                 those soprocd replicas by fingerprint
 //
 // Endpoints (see internal/serve):
 //
@@ -21,6 +23,14 @@
 //	GET  /v1/exp/{id}          one experiment (or "all"), format=table|csv;
 //	                           byte-identical to the soproc CLI's output
 //	POST /v1/sweep             batched ad-hoc sim/structural points
+//
+// With -peers, the daemon becomes a cluster coordinator
+// (internal/cluster): each simulator point is consistent-hashed by its
+// canonical fingerprint to the replica that owns it, points per replica
+// are batched into forwarded /v1/sweep calls, a failed replica's shard
+// re-hashes to the next owners, and /statsz grows a "cluster" section.
+// Output stays byte-identical to single-node serving; see API.md and
+// the DESIGN.md cluster section.
 //
 // Unlike the one-shot CLIs, the daemon bounds its memo (-memo-cap):
 // least-recently-used results are evicted under capacity pressure, so
@@ -40,9 +50,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/serve"
 )
@@ -52,10 +64,20 @@ func main() {
 	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
 	memoCap := flag.Int("memo-cap", 16384, "max resident memo entries (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
+	peers := flag.String("peers", "", "comma-separated soprocd replicas (host:port) to shard sweep points across; empty = single node")
 	flag.Parse()
 
 	eng := exp.NewBounded(*parallel, *memoCap)
 	srv := serve.New(eng)
+	if *peers != "" {
+		coord, err := cluster.New(strings.Split(*peers, ","))
+		if err != nil {
+			log.Fatalf("soprocd: %v", err)
+		}
+		eng.SetRoute(coord.Route)
+		srv.SetClusterStats(func() any { return coord.Stats() })
+		log.Printf("soprocd: coordinating %d replicas: %s", len(strings.Split(*peers, ",")), *peers)
+	}
 
 	// Request contexts derive from baseCtx; it stays live through the
 	// drain window so in-flight sweeps finish, then cancels the rest.

@@ -1,0 +1,454 @@
+// Package cluster federates the sweep engine across soprocd replicas,
+// the way the paper's pod architecture scales by replicating
+// self-contained pods behind a thin interconnect rather than growing
+// one monolith.
+//
+// A Coordinator is an engine Route (exp.Route): installed on an engine
+// with SetRoute, it intercepts each memo miss whose point carries a
+// sim.Config or sim.StructuralConfig payload, converts it to the
+// /v1/sweep wire form (serve.WirePointSim/WirePointStructural), and
+// ships it to the replica that owns the point's canonical fingerprint.
+// Ownership is rendezvous (highest-random-weight) hashing over the
+// fingerprint: every coordinator agrees on the owner without shared
+// state, each replica's memo accumulates a disjoint shard of the design
+// space — so the global hit rate survives coordinator restarts — and
+// when a replica dies only its shard re-hashes, each key to its
+// next-ranked owner, while every other key keeps its warm replica.
+//
+// Points bound for the same replica are micro-batched into one
+// /v1/sweep POST (the engine releases a whole sweep's misses at once,
+// so a short batch window collects them), concurrent identical points
+// are deduplicated by the engine's single-flight memo before they reach
+// the coordinator, and a replica failure marks it down for a cooldown
+// and retries the point on its next-ranked owner. If every replica is
+// unreachable the Route declines and the engine computes locally —
+// sharding changes only where a point runs, never its result, so
+// cluster output is byte-identical to single-node output.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaleout/internal/serve"
+	"scaleout/internal/sim"
+)
+
+// Coordinator shards routable sweep points across soprocd replicas.
+// Construct with New; install on an engine with eng.SetRoute(c.Route).
+// A Coordinator is safe for concurrent use.
+type Coordinator struct {
+	replicas []*replica
+	client   *http.Client
+	window   time.Duration
+	maxBatch int
+	cooldown time.Duration
+
+	mu      sync.Mutex
+	batches map[*replica]*batch
+
+	routed     atomic.Int64 // points answered by a replica
+	failovers  atomic.Int64 // points retried past their first-choice owner
+	fallbacks  atomic.Int64 // points declined because every replica failed
+	unroutable atomic.Int64 // points not representable on the wire
+	posts      atomic.Int64 // /v1/sweep requests issued
+}
+
+// Option configures a Coordinator at construction.
+type Option func(*Coordinator)
+
+// WithBatchWindow sets how long the first point bound for a replica
+// waits for companions before its batch is POSTed (default 2ms; <= 0
+// flushes every point immediately in its own request).
+func WithBatchWindow(d time.Duration) Option {
+	return func(c *Coordinator) { c.window = d }
+}
+
+// WithMaxBatch caps the points per /v1/sweep POST (default
+// serve.MaxSweepPoints, the most a replica accepts).
+func WithMaxBatch(n int) Option {
+	return func(c *Coordinator) {
+		if n > 0 {
+			c.maxBatch = n
+		}
+	}
+}
+
+// WithCooldown sets how long a failed replica is skipped before it is
+// offered work again (default 3s).
+func WithCooldown(d time.Duration) Option {
+	return func(c *Coordinator) { c.cooldown = d }
+}
+
+// WithHTTPClient replaces the HTTP client used for replica requests
+// (default: a dedicated client with a 10-minute request timeout).
+func WithHTTPClient(cl *http.Client) Option {
+	return func(c *Coordinator) { c.client = cl }
+}
+
+// New returns a coordinator over the given replica addresses
+// ("host:port", or a full http:// base URL). It validates only shape,
+// not liveness: a replica that is down when work arrives is skipped
+// (cooldown) and its shard re-hashes to the next owners.
+func New(peers []string, opts ...Option) (*Coordinator, error) {
+	c := &Coordinator{
+		client:   &http.Client{Timeout: 10 * time.Minute},
+		window:   2 * time.Millisecond,
+		maxBatch: serve.MaxSweepPoints,
+		cooldown: 3 * time.Second,
+		batches:  make(map[*replica]*batch),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	seen := make(map[string]bool)
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		base := p
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		base = strings.TrimRight(base, "/")
+		if seen[base] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[base] = true
+		c.replicas = append(c.replicas, &replica{addr: p, base: base})
+	}
+	if len(c.replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no peers")
+	}
+	return c, nil
+}
+
+// replica is one soprocd backend and its health/traffic accounting.
+type replica struct {
+	addr string // as configured (-peers)
+	base string // http://host:port
+
+	downUntil atomic.Int64 // unix nanos; 0 = healthy
+	sent      atomic.Int64 // points this replica answered
+	failures  atomic.Int64 // failed /v1/sweep requests
+}
+
+func (r *replica) down(now time.Time) bool {
+	return now.UnixNano() < r.downUntil.Load()
+}
+
+func (r *replica) markDown(now time.Time, cooldown time.Duration) {
+	r.downUntil.Store(now.Add(cooldown).UnixNano())
+}
+
+// Route implements exp.Route: it ships a sim.Config or
+// sim.StructuralConfig payload to the replica owning key, failing over
+// in rendezvous order, and declines (handled=false) payloads it cannot
+// represent on the wire or deliver to any replica — the engine then
+// computes them locally with identical results.
+func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, bool, error) {
+	var (
+		wire serve.SweepPoint
+		ok   bool
+		kind string
+	)
+	switch cfg := payload.(type) {
+	case sim.Config:
+		wire, ok = serve.WirePointSim(cfg)
+		kind = "sim"
+	case sim.StructuralConfig:
+		wire, ok = serve.WirePointStructural(cfg)
+		kind = "structural"
+	default:
+		ok = false
+	}
+	if !ok {
+		c.unroutable.Add(1)
+		return nil, false, nil
+	}
+
+	// Candidate order: healthy replicas in rendezvous rank, then — as a
+	// last resort, if the whole cluster looks down, an attempt is still
+	// cheaper than silently degrading to local-only — the ones already
+	// in cooldown when this point arrived. Down-ness is snapshotted
+	// here so a replica that fails during this very call is never
+	// immediately re-attempted by the same point.
+	ranked := c.rank(key)
+	now := time.Now()
+	candidates := make([]*replica, 0, len(ranked))
+	for _, rep := range ranked {
+		if !rep.down(now) {
+			candidates = append(candidates, rep)
+		}
+	}
+	for _, rep := range ranked {
+		if rep.down(now) {
+			candidates = append(candidates, rep)
+		}
+	}
+	for attempt, rep := range candidates {
+		res, err := c.enqueue(ctx, rep, wire)
+		if err == nil {
+			val, derr := decodeResult(kind, res)
+			if derr == nil {
+				if attempt > 0 {
+					c.failovers.Add(1)
+				}
+				c.routed.Add(1)
+				return val, true, nil
+			}
+			err = derr
+		}
+		if ctx.Err() != nil {
+			// The caller went away; this is a cancellation, not a
+			// replica failure, and the engine withdraws the entry.
+			return nil, true, ctx.Err()
+		}
+		rep.failures.Add(1)
+		rep.markDown(time.Now(), c.cooldown)
+	}
+	c.fallbacks.Add(1)
+	return nil, false, nil
+}
+
+// rank orders the replicas by rendezvous weight for key, highest first:
+// the first entry owns the key, the rest are its failover order. Every
+// coordinator computes the same ranking from the peer list alone, and
+// removing one replica re-homes only the keys it owned.
+func (c *Coordinator) rank(key string) []*replica {
+	type scored struct {
+		rep   *replica
+		score uint64
+	}
+	sc := make([]scored, len(c.replicas))
+	for i, rep := range c.replicas {
+		h := fnv.New64a()
+		io.WriteString(h, rep.base)
+		h.Write([]byte{0})
+		io.WriteString(h, key)
+		sc[i] = scored{rep, h.Sum64()}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].rep.base < sc[j].rep.base
+	})
+	out := make([]*replica, len(sc))
+	for i, s := range sc {
+		out[i] = s.rep
+	}
+	return out
+}
+
+// decodeResult unwraps one wire result into the value a local compute
+// of the same point would have returned.
+func decodeResult(kind string, res serve.SweepResult) (any, error) {
+	switch {
+	case kind == "sim" && res.Sim != nil:
+		return *res.Sim, nil
+	case kind == "structural" && res.Structural != nil:
+		return *res.Structural, nil
+	}
+	return nil, fmt.Errorf("cluster: replica returned %q result for %q point", res.Kind, kind)
+}
+
+// batch is one pending /v1/sweep POST to a replica: the points that
+// accumulated during the batch window and the rendezvous of their
+// waiting callers. Results land in results[i] for points[i]; err, if
+// set, applies to every point (and each caller fails over
+// independently).
+type batch struct {
+	ctx     context.Context // cancelled when every caller abandons
+	cancel  context.CancelFunc
+	points  []serve.SweepPoint
+	live    int  // callers still waiting; 0 cancels the POST
+	flushed bool // exactly one flusher POSTs (window timer vs full)
+	done    chan struct{}
+	results []serve.SweepResult
+	err     error
+}
+
+// enqueue joins (or opens) the pending batch for rep and waits for its
+// slot of the response. The POST itself runs on a context detached from
+// any single caller: like an engine memo entry, a batch in flight
+// serves every caller that joined it, and is cancelled only when all of
+// them have gone away.
+func (c *Coordinator) enqueue(ctx context.Context, rep *replica, p serve.SweepPoint) (serve.SweepResult, error) {
+	c.mu.Lock()
+	b := c.batches[rep]
+	if b == nil {
+		bctx, cancel := context.WithCancel(context.Background())
+		b = &batch{ctx: bctx, cancel: cancel, done: make(chan struct{})}
+		c.batches[rep] = b
+		if c.window > 0 {
+			time.AfterFunc(c.window, func() { c.flush(rep, b) })
+		} else {
+			// No batching: this point's own goroutine flushes as soon
+			// as the append below is published (flush reacquires mu).
+			go c.flush(rep, b)
+		}
+	}
+	idx := len(b.points)
+	b.points = append(b.points, p)
+	b.live++
+	full := len(b.points) >= c.maxBatch
+	if full {
+		// Detach immediately so later points open a fresh batch and
+		// this one can never outgrow what a replica accepts.
+		delete(c.batches, rep)
+	}
+	c.mu.Unlock()
+	if full {
+		go c.flush(rep, b)
+	}
+
+	select {
+	case <-b.done:
+		if b.err != nil {
+			return serve.SweepResult{}, b.err
+		}
+		return b.results[idx], nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		b.live--
+		abandoned := b.live == 0
+		if abandoned && !b.flushed {
+			// Every caller left before anything was POSTed: claim the
+			// flush so the window timer does nothing, and detach the
+			// batch so a later point opens a fresh one instead of
+			// joining this dead batch and mistaking its cancelled
+			// context for a replica failure.
+			b.flushed = true
+			if c.batches[rep] == b {
+				delete(c.batches, rep)
+			}
+		}
+		c.mu.Unlock()
+		if abandoned {
+			b.cancel()
+		}
+		return serve.SweepResult{}, ctx.Err()
+	}
+}
+
+// flush POSTs b once: it detaches b so later points open a fresh batch,
+// snapshots the membership, and distributes the response (or error) to
+// every waiter. The window timer and the batch-full path may both call
+// it; the flushed flag makes the second call a no-op.
+func (c *Coordinator) flush(rep *replica, b *batch) {
+	c.mu.Lock()
+	if b.flushed {
+		c.mu.Unlock()
+		return
+	}
+	b.flushed = true
+	if c.batches[rep] == b {
+		delete(c.batches, rep)
+	}
+	points := b.points
+	c.mu.Unlock()
+	defer b.cancel()
+	defer close(b.done)
+
+	c.posts.Add(1)
+	results, err := c.post(b.ctx, rep, points)
+	if err != nil {
+		b.err = err
+		return
+	}
+	b.results = results
+	rep.sent.Add(int64(len(points)))
+}
+
+// post issues one forwarded /v1/sweep request and decodes the response.
+func (c *Coordinator) post(ctx context.Context, rep *replica, points []serve.SweepPoint) ([]serve.SweepResult, error) {
+	body, err := json.Marshal(serve.SweepRequest{Points: points})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.base+"/v1/sweep", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.ForwardedHeader, "1")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: %s: %s: %s", rep.addr, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var sr serve.SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("cluster: %s: bad sweep response: %v", rep.addr, err)
+	}
+	if len(sr.Results) != len(points) {
+		return nil, fmt.Errorf("cluster: %s: %d results for %d points", rep.addr, len(sr.Results), len(points))
+	}
+	return sr.Results, nil
+}
+
+// Stats is a point-in-time snapshot of a coordinator's routing traffic;
+// it is the /statsz "cluster" section of a -peers daemon.
+type Stats struct {
+	// Peers reports each replica in -peers order.
+	Peers []PeerStats `json:"peers"`
+	// Routed counts points answered by a replica; Failovers the subset
+	// retried past their first-choice owner after a failure.
+	Routed    int64 `json:"routed"`
+	Failovers int64 `json:"failovers"`
+	// LocalFallbacks counts points computed locally because every
+	// replica failed; Unroutable those whose configuration the wire
+	// cannot represent (always computed locally).
+	LocalFallbacks int64 `json:"local_fallbacks"`
+	Unroutable     int64 `json:"unroutable"`
+	// Posts counts /v1/sweep requests issued — Routed/Posts is the
+	// batching factor.
+	Posts int64 `json:"posts"`
+}
+
+// PeerStats is one replica's slice of a Stats snapshot.
+type PeerStats struct {
+	Addr string `json:"addr"`
+	// Sent counts points this replica answered; Failures the requests
+	// it failed; Down whether it is currently in failure cooldown.
+	Sent     int64 `json:"sent"`
+	Failures int64 `json:"failures"`
+	Down     bool  `json:"down"`
+}
+
+// Stats snapshots the coordinator's routing counters.
+func (c *Coordinator) Stats() Stats {
+	now := time.Now()
+	st := Stats{
+		Routed:         c.routed.Load(),
+		Failovers:      c.failovers.Load(),
+		LocalFallbacks: c.fallbacks.Load(),
+		Unroutable:     c.unroutable.Load(),
+		Posts:          c.posts.Load(),
+	}
+	for _, rep := range c.replicas {
+		st.Peers = append(st.Peers, PeerStats{
+			Addr:     rep.addr,
+			Sent:     rep.sent.Load(),
+			Failures: rep.failures.Load(),
+			Down:     rep.down(now),
+		})
+	}
+	return st
+}

@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/figures"
+	"scaleout/internal/noc"
+	"scaleout/internal/serve"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// testReplica is one in-process soprocd: a serve handler on its own
+// engine, optionally wrapped for fault injection.
+type testReplica struct {
+	srv *httptest.Server
+	eng *exp.Engine
+}
+
+func (r *testReplica) addr() string { return r.srv.URL }
+
+func (r *testReplica) statsz(t *testing.T) serve.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(r.srv.URL + "/statsz")
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	return st
+}
+
+func startReplica(t *testing.T, wrap func(http.Handler) http.Handler) *testReplica {
+	t.Helper()
+	eng := exp.New(2)
+	h := http.Handler(serve.New(eng))
+	if wrap != nil {
+		h = wrap(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return &testReplica{srv: srv, eng: eng}
+}
+
+func startCluster(t *testing.T, n int, opts ...Option) ([]*testReplica, *Coordinator, *exp.Engine) {
+	t.Helper()
+	reps := make([]*testReplica, n)
+	addrs := make([]string, n)
+	for i := range reps {
+		reps[i] = startReplica(t, nil)
+		addrs[i] = reps[i].addr()
+	}
+	coord, err := New(addrs, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng := exp.New(0)
+	eng.SetRoute(coord.Route)
+	return reps, coord, eng
+}
+
+func testConfigs(n int) []sim.Config {
+	w, _ := workload.ByName(workload.Names()[0])
+	cfgs := make([]sim.Config, n)
+	for i := range cfgs {
+		cfgs[i] = sim.Config{
+			Workload: w, CoreType: tech.OoO, Cores: 4 + 4*(i%4), LLCMB: 2 + float64(i%3),
+			WarmupCycles: 500, MeasureCycles: 1000, Seed: uint64(1 + i/12),
+		}
+	}
+	return cfgs
+}
+
+// TestClusterSweepByteIdentical: a sweep routed across three replicas
+// returns exactly what local computation returns, every point lands on
+// a replica, and each distinct configuration is computed exactly once
+// cluster-wide (the sharded memo does not duplicate work).
+func TestClusterSweepByteIdentical(t *testing.T) {
+	reps, coord, eng := startCluster(t, 3)
+	cfgs := testConfigs(24)
+
+	ctx := exp.WithEngine(context.Background(), eng)
+	got, err := exp.Sims(ctx, cfgs)
+	if err != nil {
+		t.Fatalf("Sims: %v", err)
+	}
+	for i, cfg := range cfgs {
+		want, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("local Run: %v", err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("point %d: cluster %+v != local %+v", i, got[i], want)
+		}
+	}
+
+	distinct := make(map[string]bool)
+	for _, c := range cfgs {
+		distinct[c.Key()] = true
+	}
+	st := coord.Stats()
+	if st.Routed != int64(len(distinct)) || st.Unroutable != 0 || st.LocalFallbacks != 0 {
+		t.Fatalf("stats = %+v, want %d routed and no fallbacks", st, len(distinct))
+	}
+	if est := eng.Stats(); est.Remote != int64(len(distinct)) || est.Misses != 0 {
+		t.Fatalf("engine stats = %+v, want all %d points remote", est, len(distinct))
+	}
+	var replicaMisses int64
+	var spread int
+	for _, rep := range reps {
+		m := rep.statsz(t).Memo.Misses
+		replicaMisses += m
+		if m > 0 {
+			spread++
+		}
+	}
+	if replicaMisses != int64(len(distinct)) {
+		t.Fatalf("replicas computed %d points, want exactly %d (no duplication)", replicaMisses, len(distinct))
+	}
+	if spread < 2 {
+		t.Fatalf("memo spread across %d replicas, want >= 2", spread)
+	}
+}
+
+// TestClusterStructuralSweep routes structural points too.
+func TestClusterStructuralSweep(t *testing.T) {
+	_, coord, eng := startCluster(t, 2)
+	w, _ := workload.ByName(workload.Names()[1])
+	cfgs := []sim.StructuralConfig{
+		{Workload: w, CoreType: tech.OoO, Cores: 2, LLCMB: 2, WarmupCycles: 2000, MeasureCycles: 1000},
+		{Workload: w, CoreType: tech.OoO, Cores: 4, LLCMB: 2, WarmupCycles: 2000, MeasureCycles: 1000},
+	}
+	ctx := exp.WithEngine(context.Background(), eng)
+	got, err := exp.Structurals(ctx, cfgs)
+	if err != nil {
+		t.Fatalf("Structurals: %v", err)
+	}
+	for i, cfg := range cfgs {
+		want, err := sim.RunStructural(cfg)
+		if err != nil {
+			t.Fatalf("local RunStructural: %v", err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("point %d: cluster %+v != local %+v", i, got[i], want)
+		}
+	}
+	if st := coord.Stats(); st.Routed != 2 {
+		t.Fatalf("stats = %+v, want 2 routed", st)
+	}
+}
+
+// TestClusterFigureByteIdentical: a full figure rendered through the
+// cluster is byte-identical to the single-node rendering.
+func TestClusterFigureByteIdentical(t *testing.T) {
+	_, coord, eng := startCluster(t, 3)
+
+	ctx := exp.WithEngine(context.Background(), eng)
+	clustered, err := figures.RunContext(ctx, "fig2.1")
+	if err != nil {
+		t.Fatalf("clustered run: %v", err)
+	}
+	local, err := figures.RunContext(exp.WithEngine(context.Background(), exp.New(0)), "fig2.1")
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	if clustered.String() != local.String() {
+		t.Fatalf("fig2.1 differs:\ncluster:\n%s\nlocal:\n%s", clustered.String(), local.String())
+	}
+	if st := coord.Stats(); st.Routed == 0 {
+		t.Fatal("figure run routed nothing")
+	}
+}
+
+// TestClusterFailoverMidSweep kills one replica partway through a sweep
+// and asserts the re-hashed retries return byte-identical results while
+// the stats show its shard redistributed to the survivors.
+func TestClusterFailoverMidSweep(t *testing.T) {
+	var killed atomic.Bool
+	var victimServed atomic.Int64
+	victim := startReplica(t, func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/sweep" {
+				if killed.Load() {
+					http.Error(w, "replica killed", http.StatusServiceUnavailable)
+					return
+				}
+				if victimServed.Add(1) >= 2 {
+					killed.Store(true) // die after this response
+				}
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	survivors := []*testReplica{startReplica(t, nil), startReplica(t, nil)}
+	addrs := []string{victim.addr(), survivors[0].addr(), survivors[1].addr()}
+
+	// One point per POST so the kill lands mid-sweep, between batches.
+	coord, err := New(addrs, WithMaxBatch(1), WithBatchWindow(0))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eng := exp.New(2) // serial enough that posts interleave with the kill
+	eng.SetRoute(coord.Route)
+
+	cfgs := testConfigs(24)
+	ctx := exp.WithEngine(context.Background(), eng)
+	got, err := exp.Sims(ctx, cfgs)
+	if err != nil {
+		t.Fatalf("Sims: %v", err)
+	}
+	for i, cfg := range cfgs {
+		want, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatalf("local Run: %v", err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("point %d differs after failover", i)
+		}
+	}
+
+	st := coord.Stats()
+	if st.LocalFallbacks != 0 {
+		t.Fatalf("stats = %+v: failover should re-hash, not fall back locally", st)
+	}
+	if st.Failovers == 0 {
+		t.Fatalf("stats = %+v: expected re-hashed retries after the kill", st)
+	}
+	var victimStats, survivorSent PeerStats
+	for _, p := range st.Peers {
+		if p.Addr == victim.addr() {
+			victimStats = p
+		} else {
+			survivorSent.Sent += p.Sent
+		}
+	}
+	if victimStats.Failures == 0 || !victimStats.Down {
+		t.Fatalf("victim peer stats = %+v, want failures and down", victimStats)
+	}
+	if survivorSent.Sent+victimStats.Sent != st.Routed {
+		t.Fatalf("sent %d+%d != routed %d", survivorSent.Sent, victimStats.Sent, st.Routed)
+	}
+	// /statsz shows the redistribution: the survivors computed every
+	// point the dead replica did not manage to answer.
+	var survivorMisses int64
+	for _, rep := range survivors {
+		survivorMisses += rep.statsz(t).Memo.Misses
+	}
+	distinct := make(map[string]bool)
+	for _, c := range cfgs {
+		distinct[c.Key()] = true
+	}
+	if want := int64(len(distinct)) - victimStats.Sent; survivorMisses != want {
+		t.Fatalf("survivors computed %d points, want %d (= %d distinct - %d answered by victim)",
+			survivorMisses, want, len(distinct), victimStats.Sent)
+	}
+}
+
+// TestRendezvousRedistribution: removing a replica re-homes only the
+// keys it owned — every other key keeps its (warm) owner.
+func TestRendezvousRedistribution(t *testing.T) {
+	full, err := New([]string{"a:1", "b:1", "c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New([]string{"a:1", "c:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.rank(key)[0].base
+		after := reduced.rank(key)[0].base
+		if before == "http://b:1" {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 || moved == 200 {
+		t.Fatalf("b owned %d/200 keys; the hash is not spreading", moved)
+	}
+}
+
+// TestClusterUnroutableFallsBack: a configuration the wire cannot carry
+// is computed locally, with identical results, and counted.
+func TestClusterUnroutableFallsBack(t *testing.T) {
+	reps, coord, eng := startCluster(t, 2)
+	w, _ := workload.ByName(workload.Names()[0])
+	net := noc.New(noc.Mesh, 8)
+	net.WireDelta = -0.5 // 3D-stacked variant: not expressible in /v1/sweep
+	cfg := sim.Config{Workload: w, CoreType: tech.OoO, Cores: 8, LLCMB: 2, Net: net,
+		WarmupCycles: 500, MeasureCycles: 1000}
+
+	ctx := exp.WithEngine(context.Background(), eng)
+	got, err := exp.Sims(ctx, []sim.Config{cfg})
+	if err != nil {
+		t.Fatalf("Sims: %v", err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil || !reflect.DeepEqual(got[0], want) {
+		t.Fatalf("local fallback result differs: %v", err)
+	}
+	if st := coord.Stats(); st.Unroutable != 1 || st.Routed != 0 {
+		t.Fatalf("stats = %+v, want 1 unroutable, 0 routed", st)
+	}
+	for _, rep := range reps {
+		if m := rep.statsz(t).Memo.Misses; m != 0 {
+			t.Fatalf("replica computed %d points for an unroutable sweep", m)
+		}
+	}
+	if est := eng.Stats(); est.Misses != 1 {
+		t.Fatalf("engine stats = %+v, want the point computed locally", est)
+	}
+}
+
+// TestClusterBatching: points released together coalesce into per-replica
+// POSTs instead of one request per point.
+func TestClusterBatching(t *testing.T) {
+	_, coord, eng := startCluster(t, 3, WithBatchWindow(100*time.Millisecond))
+	cfgs := testConfigs(24)
+	ctx := exp.WithEngine(context.Background(), eng)
+	if _, err := exp.Sims(ctx, cfgs); err != nil {
+		t.Fatalf("Sims: %v", err)
+	}
+	st := coord.Stats()
+	if st.Posts > 3 {
+		t.Fatalf("%d points took %d posts, want at most one per replica", st.Routed, st.Posts)
+	}
+}
+
+// TestForwardedRequestsNeverLoop: two daemons configured as each other's
+// peers must degenerate to one forwarding hop — the forwarded request
+// computes locally — not an infinite bounce.
+func TestForwardedRequestsNeverLoop(t *testing.T) {
+	// Build a and b with mutual routes. Addresses must exist before
+	// coordinators do, so wire the routes up after both are listening.
+	a := startReplica(t, nil)
+	b := startReplica(t, nil)
+	coordA, err := New([]string{b.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordB, err := New([]string{a.addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.eng.SetRoute(coordA.Route)
+	b.eng.SetRoute(coordB.Route)
+
+	// A client sweep against a: a routes every point to b (its only
+	// peer); b must compute them itself rather than bouncing back to a.
+	w, _ := workload.ByName(workload.Names()[0])
+	cfg := sim.Config{Workload: w, CoreType: tech.OoO, Cores: 4, LLCMB: 2,
+		WarmupCycles: 500, MeasureCycles: 1000}
+	body, _ := json.Marshal(serve.SweepRequest{Points: mustWire(t, cfg)})
+	resp, err := http.Post(a.srv.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %s", resp.Status)
+	}
+	var sr serve.SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil || sr.Results[0].Sim == nil || !reflect.DeepEqual(*sr.Results[0].Sim, want) {
+		t.Fatalf("mutual-peer sweep result differs: %v", err)
+	}
+	if m := b.statsz(t).Memo.Misses; m != 1 {
+		t.Fatalf("b computed %d points, want 1 (forwarded request computes locally)", m)
+	}
+	if st := coordB.Stats(); st.Routed != 0 {
+		t.Fatalf("b re-routed a forwarded request: %+v", st)
+	}
+}
+
+// TestAbandonedBatchDetached: a batch whose every caller disconnected
+// before the flush must not linger in the pending map — a later caller
+// inside the same window must open a fresh batch and succeed, without
+// the healthy replica being blamed for the dead batch's cancellation.
+func TestAbandonedBatchDetached(t *testing.T) {
+	rep := startReplica(t, nil)
+	coord, err := New([]string{rep.addr()}, WithBatchWindow(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := mustWire(t, testConfigs(1)[0])[0]
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := coord.enqueue(cancelled, coord.replicas[0], wire); err == nil {
+		t.Fatal("enqueue on a cancelled context succeeded")
+	}
+	// Well inside the abandoned batch's window: must not join it.
+	res, err := coord.enqueue(context.Background(), coord.replicas[0], wire)
+	if err != nil {
+		t.Fatalf("enqueue after abandoned batch: %v", err)
+	}
+	if res.Sim == nil {
+		t.Fatal("no result from fresh batch")
+	}
+	if f := coord.replicas[0].failures.Load(); f != 0 {
+		t.Fatalf("healthy replica charged with %d failures from an abandoned batch", f)
+	}
+	if coord.replicas[0].down(time.Now()) {
+		t.Fatal("healthy replica marked down by an abandoned batch")
+	}
+}
+
+// TestRouteAttemptsEachReplicaOnce: when every replica is unreachable, a
+// point tries each exactly once — a replica that failed during this
+// very call is not immediately re-attempted by the cooldown pass.
+func TestRouteAttemptsEachReplicaOnce(t *testing.T) {
+	// Ports from the reserved loopback range with nothing listening:
+	// connection refused, instantly.
+	coord, err := New([]string{"127.0.0.1:1", "127.0.0.1:2"}, WithBatchWindow(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfigs(1)[0]
+	_, handled, rerr := coord.Route(context.Background(), cfg.Key(), cfg)
+	if handled || rerr != nil {
+		t.Fatalf("Route = handled %v, err %v; want declined", handled, rerr)
+	}
+	st := coord.Stats()
+	if st.LocalFallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 local fallback", st)
+	}
+	for _, p := range st.Peers {
+		if p.Failures != 1 {
+			t.Fatalf("peer %s attempted %d times, want exactly 1", p.Addr, p.Failures)
+		}
+	}
+}
+
+func mustWire(t *testing.T, cfg sim.Config) []serve.SweepPoint {
+	t.Helper()
+	p, ok := serve.WirePointSim(cfg)
+	if !ok {
+		t.Fatal("config not wire-representable")
+	}
+	return []serve.SweepPoint{p}
+}

@@ -37,6 +37,10 @@ import (
 type Engine struct {
 	sem chan struct{} // one slot per worker
 
+	// route, when set (SetRoute), is consulted once per memo miss for
+	// work carrying a routable payload; see Route.
+	route atomic.Pointer[Route]
+
 	mu       sync.Mutex
 	memo     map[string]*memoEntry
 	capacity int // max resident memo entries; 0 = unbounded
@@ -49,7 +53,54 @@ type Engine struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	remote    atomic.Int64 // work resolved by the installed Route
 	inflight  atomic.Int64 // computations currently executing
+}
+
+// Route resolves one memo miss somewhere other than the local worker
+// pool — in practice, on a cluster replica (internal/cluster). It
+// receives the memo key and the payload the caller attached to the work
+// (DoRouted); a typical router serializes the payload, ships it to the
+// replica that owns the key, and returns the computed value. Returning
+// handled=false declines the work — because the payload is not
+// representable on the wire, or every replica is down — and the engine
+// computes it locally instead, so a router can never change results,
+// only where they are computed. Returning handled=true with a
+// cancellation error withdraws the memo entry exactly as a cancelled
+// local computation would, so a later call retries for real.
+//
+// A Route runs under the key's single-flight memo entry but does NOT
+// hold a worker slot: remote work waits on the network, not on local
+// CPU, so routed keys do not starve the local pool.
+type Route func(ctx context.Context, key string, payload any) (val any, handled bool, err error)
+
+// SetRoute installs r as the engine's router, consulted on every memo
+// miss whose work carries a non-nil payload (DoRouted) unless routing
+// is disabled on the request context (DisableRouting). Install the
+// router before the engine starts serving work; a nil r removes it.
+func (e *Engine) SetRoute(r Route) {
+	if r == nil {
+		e.route.Store(nil)
+		return
+	}
+	e.route.Store(&r)
+}
+
+type noRouteKey struct{}
+
+// DisableRouting returns a context whose work is always computed
+// locally, even on an engine with a router installed. The serve layer
+// applies it to requests already forwarded by a coordinator, so a
+// misconfigured peer cycle (A routes to B, B routes to A) degenerates to
+// one forwarding hop instead of an infinite loop.
+func DisableRouting(ctx context.Context) context.Context {
+	return context.WithValue(ctx, noRouteKey{}, true)
+}
+
+// routingDisabled reports whether DisableRouting marked ctx.
+func routingDisabled(ctx context.Context) bool {
+	on, _ := ctx.Value(noRouteKey{}).(bool)
+	return on
 }
 
 // memoEntry is the memo slot for one key. done is closed once val/err
@@ -106,6 +157,10 @@ type Stats struct {
 	// Evictions counts memo entries discarded to stay within
 	// MemoCapacity; an evicted key is recomputed on next request.
 	Evictions int64
+	// Remote counts work resolved by the installed Route (computed on a
+	// cluster replica rather than the local pool). Always 0 without a
+	// router.
+	Remote int64
 	// InFlight is the number of computations executing right now.
 	InFlight int64
 	// MemoSize is the number of resident memo entries; at most
@@ -124,6 +179,7 @@ func (e *Engine) Stats() Stats {
 		Hits:         e.hits.Load(),
 		Misses:       e.misses.Load(),
 		Evictions:    e.evictions.Load(),
+		Remote:       e.remote.Load(),
 		InFlight:     e.inflight.Load(),
 		MemoSize:     size,
 		MemoCapacity: e.capacity,
@@ -174,6 +230,19 @@ func Fingerprint(v any) string { return fmt.Sprintf("%#v", v) }
 // from the memo — a cancellation is not a fact about the key — so a
 // later call retries it for real.
 func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	return e.DoRouted(ctx, key, nil, compute)
+}
+
+// DoRouted is Do with a routable payload attached: on a memo miss, an
+// engine with a router (SetRoute) offers (key, payload) to the router
+// before computing locally, so a cluster coordinator can ship the work
+// to the replica owning the key. payload must describe the same
+// computation as compute — routing only moves where a point runs, never
+// what it returns. A nil payload, an engine without a router, or a
+// context marked by DisableRouting always computes locally; so does any
+// point the router declines. Memoization, single-flight dedup, and
+// cancellation withdrawal are identical to Do in every case.
+func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute func() (any, error)) (any, error) {
 	if key == "" {
 		if err := e.acquire(ctx); err != nil {
 			return nil, err
@@ -222,6 +291,21 @@ func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)
 		break
 	}
 
+	// Offer the work to the router first: routed work waits on a
+	// replica, not a local worker slot, so it skips acquire entirely.
+	// The entry is already owned, so concurrent requests for the key
+	// wait on this one routed flight.
+	if payload != nil && !routingDisabled(ctx) {
+		if rp := e.route.Load(); rp != nil {
+			if val, handled, rerr := (*rp)(ctx, key, payload); handled {
+				if rerr == nil {
+					e.remote.Add(1)
+				}
+				return e.finish(ent, key, val, rerr)
+			}
+		}
+	}
+
 	if err := e.acquire(ctx); err != nil {
 		// Never computed: withdraw the entry so a later call can retry,
 		// and release current waiters with the cancellation.
@@ -237,13 +321,20 @@ func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)
 	}
 	e.misses.Add(1)
 	e.inflight.Add(1)
-	ent.val, ent.err = compute()
+	val, cerr := compute()
 	e.inflight.Add(-1)
 	e.release()
-	if IsCancellation(ent.err) {
-		// A cancellation is not a fact about the key; withdraw the
-		// entry (before closing done, so woken waiters re-find an empty
-		// slot) so another call can compute it for real.
+	return e.finish(ent, key, val, cerr)
+}
+
+// finish publishes the result of an owned memo entry and drops the
+// owner pin (a resident complete entry joins the LRU). A cancellation
+// is not a fact about the key: the entry is withdrawn — before done
+// closes, so woken waiters re-find an empty slot — and a later call
+// computes it for real.
+func (e *Engine) finish(ent *memoEntry, key string, val any, err error) (any, error) {
+	ent.val, ent.err = val, err
+	if IsCancellation(err) {
 		e.mu.Lock()
 		if e.memo[key] == ent {
 			delete(e.memo, key)
@@ -251,11 +342,11 @@ func (e *Engine) Do(ctx context.Context, key string, compute func() (any, error)
 		e.mu.Unlock()
 	}
 	close(ent.done)
-	e.unpin(ent) // drop the owner pin; a resident complete entry joins the LRU
-	if ent.err != nil {
-		return nil, ent.err
+	e.unpin(ent)
+	if err != nil {
+		return nil, err
 	}
-	return ent.val, nil
+	return val, nil
 }
 
 // pinLocked takes a reference on ent, removing it from the LRU list if

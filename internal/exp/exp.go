@@ -64,6 +64,19 @@ func WithEngine(ctx context.Context, e *Engine) context.Context {
 // FromContext returns the context's engine, or Default if none is set.
 func FromContext(ctx context.Context) *Engine { return engine.FromContext(ctx) }
 
+// Route is a per-key routing hook (engine.Route): install one with
+// Engine.SetRoute and memo misses whose points carry a payload are
+// offered to it — in practice, shipped to the cluster replica owning
+// the key (internal/cluster) — before being computed locally.
+type Route = engine.Route
+
+// DisableRouting returns a context whose points always compute locally,
+// even on an engine with a router installed; the serve layer marks
+// coordinator-forwarded requests with it so peer cycles cannot loop.
+func DisableRouting(ctx context.Context) context.Context {
+	return engine.DisableRouting(ctx)
+}
+
 // Fingerprint canonically serializes a configuration value. fmt prints
 // map fields in sorted key order, so two equal values always produce the
 // same string regardless of construction order.
@@ -93,6 +106,17 @@ type Point[R any] interface {
 	Compute() (R, error)
 }
 
+// Routable is implemented by points that can run somewhere other than
+// the local worker pool: RoutePayload returns a serializable
+// description of the computation — for the built-in points, the
+// sim.Config or sim.StructuralConfig itself — which the engine offers
+// to its installed Route (Engine.SetRoute) on a memo miss. A nil
+// payload, or a point that does not implement Routable, always computes
+// locally.
+type Routable interface {
+	RoutePayload() any
+}
+
 // SimPoint runs the cycle-level simulator on one configuration.
 type SimPoint struct{ Config sim.Config }
 
@@ -105,6 +129,10 @@ func (p SimPoint) Key() string { return p.Config.Key() }
 // Compute runs the simulation.
 func (p SimPoint) Compute() (sim.Result, error) { return sim.Run(p.Config) }
 
+// RoutePayload returns the configuration, so a cluster router can ship
+// the point to the replica owning its fingerprint.
+func (p SimPoint) RoutePayload() any { return p.Config }
+
 // StructuralPoint runs the structural simulator on one configuration.
 type StructuralPoint struct{ Config sim.StructuralConfig }
 
@@ -116,12 +144,19 @@ func (p StructuralPoint) Compute() (sim.StructuralResult, error) {
 	return sim.RunStructural(p.Config)
 }
 
+// RoutePayload returns the configuration, so a cluster router can ship
+// the point to the replica owning its fingerprint.
+func (p StructuralPoint) RoutePayload() any { return p.Config }
+
 // Func adapts an arbitrary deterministic computation — an analytic-model
 // evaluation, a chip composition, a TCO build — into a Point. K must
 // canonically identify the computation; leave it empty to run the point
-// unmemoized (the usual choice for cheap analytic evaluations).
+// unmemoized (the usual choice for cheap analytic evaluations). P, if
+// set, makes the point routable (Routable): it must describe the same
+// computation as F, and is what a cluster router ships to a replica.
 type Func[R any] struct {
 	K string
+	P any
 	F func() (R, error)
 }
 
@@ -130,6 +165,10 @@ func (p Func[R]) Key() string { return p.K }
 
 // Compute invokes the wrapped function.
 func (p Func[R]) Compute() (R, error) { return p.F() }
+
+// RoutePayload returns the caller-attached payload (nil means the point
+// always computes locally).
+func (p Func[R]) RoutePayload() any { return p.P }
 
 // Points evaluates every point on e's worker pool and returns results in
 // input order. The first error (in input order, preferring genuine
@@ -165,9 +204,14 @@ func Points[R any](ctx context.Context, e *Engine, pts []Point[R]) ([]R, error) 
 	return out, nil
 }
 
-// resolve computes one point on the engine's pool and memo.
+// resolve computes one point on the engine's pool and memo; routable
+// points offer their payload to the engine's router first.
 func resolve[R any](ctx context.Context, e *Engine, p Point[R]) (R, error) {
-	v, err := e.Do(ctx, p.Key(), func() (any, error) { return p.Compute() })
+	var payload any
+	if rp, ok := p.(Routable); ok {
+		payload = rp.RoutePayload()
+	}
+	v, err := e.DoRouted(ctx, p.Key(), payload, func() (any, error) { return p.Compute() })
 	if err != nil {
 		var zero R
 		return zero, err

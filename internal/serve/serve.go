@@ -23,6 +23,12 @@
 // Every request runs on the server's engine via the same context
 // plumbing the CLIs use: a disconnecting client cancels its points, and
 // process shutdown drains in-flight work before cancelling the rest.
+//
+// The full HTTP contract — request and response JSON shapes with wire
+// tags, error codes, limits, and drain semantics — is documented in
+// API.md at the repository root; the coordinator protocol that shards
+// /v1/sweep points across replicas is in internal/cluster and the
+// DESIGN.md cluster section.
 package serve
 
 import (
@@ -46,6 +52,12 @@ import (
 // the pool's queue.
 const MaxSweepPoints = 4096
 
+// ForwardedHeader marks a /v1/sweep request that was already forwarded
+// by a cluster coordinator. The serving replica disables routing for
+// such a request (exp.DisableRouting), so work is forwarded at most one
+// hop and a peer cycle cannot loop; see API.md.
+const ForwardedHeader = "X-Soproc-Forwarded"
+
 // Server routes the soprocd endpoints onto one experiment engine.
 // Construct with New; the zero value is not usable.
 type Server struct {
@@ -53,7 +65,17 @@ type Server struct {
 	mux   *http.ServeMux
 	known map[string]bool // registered experiment IDs
 	start time.Time
+
+	// clusterStats, if set (SetClusterStats), supplies the /statsz
+	// "cluster" section for a coordinator daemon.
+	clusterStats func() any
 }
+
+// SetClusterStats installs a snapshot hook whose value is reported as
+// the /statsz "cluster" section — a coordinator daemon wires its
+// cluster.Coordinator.Stats here. Call before serving; a nil hook (the
+// default) omits the section.
+func (s *Server) SetClusterStats(fn func() any) { s.clusterStats = fn }
 
 // New returns a server running every request on eng (nil selects the
 // process-wide default engine).
@@ -100,20 +122,26 @@ type MemoStats struct {
 	Capacity  int   `json:"capacity"` // 0 = unbounded
 }
 
-// StatsResponse is the /statsz body.
+// StatsResponse is the /statsz body. Remote counts points resolved on
+// cluster replicas rather than the local pool; Cluster is the
+// coordinator's per-replica routing snapshot (cluster.Stats) and is
+// present only when this daemon runs with -peers.
 type StatsResponse struct {
 	Workers       int       `json:"workers"`
 	InFlight      int64     `json:"in_flight"`
+	Remote        int64     `json:"remote"`
 	Memo          MemoStats `json:"memo"`
 	Experiments   int       `json:"experiments"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
+	Cluster       any       `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Workers:  s.eng.Workers(),
 		InFlight: st.InFlight,
+		Remote:   st.Remote,
 		Memo: MemoStats{
 			Hits:      st.Hits,
 			Misses:    st.Misses,
@@ -123,7 +151,11 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		},
 		Experiments:   len(s.known),
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+	}
+	if s.clusterStats != nil {
+		resp.Cluster = s.clusterStats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ExperimentsResponse is the /v1/experiments body.
@@ -283,6 +315,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := exp.WithEngine(r.Context(), s.eng)
+	if r.Header.Get(ForwardedHeader) != "" {
+		// Already forwarded once by a coordinator: compute here, never
+		// re-route, so a peer cycle cannot bounce work forever.
+		ctx = exp.DisableRouting(ctx)
+	}
 	out, err := exp.Points(ctx, s.eng, pts)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -338,7 +375,9 @@ func (p SweepPoint) point() (kind string, _ exp.Point[any], err error) {
 		if _, err := cfg.Canonical(); err != nil {
 			return "", nil, err
 		}
-		return "sim", exp.Func[any]{K: cfg.Key(), F: func() (any, error) {
+		// The payload makes the point routable: a coordinator daemon
+		// re-shards ad-hoc sweep points to the replicas owning them.
+		return "sim", exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
 			return sim.Run(cfg)
 		}}, nil
 	case "structural":
@@ -354,7 +393,7 @@ func (p SweepPoint) point() (kind string, _ exp.Point[any], err error) {
 		if _, err := cfg.Canonical(); err != nil {
 			return "", nil, err
 		}
-		return "structural", exp.Func[any]{K: cfg.Key(), F: func() (any, error) {
+		return "structural", exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
 			return sim.RunStructural(cfg)
 		}}, nil
 	default:

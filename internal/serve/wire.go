@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+)
+
+// WirePointSim converts a simulator configuration into the SweepPoint
+// that resolves back to it — the wire form a cluster coordinator POSTs
+// to a replica's /v1/sweep. The conversion is verified by round-trip:
+// the returned point is re-resolved exactly as the receiving replica
+// would resolve it, and must reproduce the configuration's canonical
+// memo fingerprint (sim.Config.Key). ok is false when the
+// configuration is not representable on the wire — a workload not in
+// the calibrated suite, or an interconnect with fields the sweep API
+// does not carry (WireDelta, Concentration, ExpressLinks, a custom
+// TileEdge) — in which case the caller must compute the point locally.
+func WirePointSim(cfg sim.Config) (p SweepPoint, ok bool) {
+	cc, err := cfg.Canonical()
+	if err != nil {
+		return SweepPoint{}, false
+	}
+	p, ok = wireCommon(cc.Workload.Name, cc.CoreType, cc.Cores, cc.LLCMB, cc.Net)
+	if !ok {
+		return SweepPoint{}, false
+	}
+	p.Kind = "sim"
+	p.MemChannels = cc.MemChannels
+	p.WarmupCycles = cc.WarmupCycles
+	p.MeasureCycles = cc.MeasureCycles
+	p.Seed = cc.Seed
+	p.DisableSWScaling = cc.DisableSWScaling
+	return p, roundTrips(p, cfg.Key())
+}
+
+// WirePointStructural is WirePointSim for the structural simulator; the
+// round-trip is verified against sim.StructuralConfig.Key.
+func WirePointStructural(cfg sim.StructuralConfig) (p SweepPoint, ok bool) {
+	cc, err := cfg.Canonical()
+	if err != nil {
+		return SweepPoint{}, false
+	}
+	p, ok = wireCommon(cc.Workload.Name, cc.CoreType, cc.Cores, cc.LLCMB, cc.Net)
+	if !ok {
+		return SweepPoint{}, false
+	}
+	p.Kind = "structural"
+	p.MemChannels = cc.MemChannels
+	p.WarmupCycles = cc.WarmupCycles
+	p.MeasureCycles = cc.MeasureCycles
+	p.Seed = cc.Seed
+	p.L1MSHRs = cc.L1MSHRs
+	return p, roundTrips(p, cfg.Key())
+}
+
+// wireCommon maps the fields shared by both simulator kinds into their
+// symbolic wire names, declining combinations the sweep API cannot
+// express.
+func wireCommon(workload string, core tech.CoreType, cores int, llcMB float64, net noc.Config) (SweepPoint, bool) {
+	p := SweepPoint{Workload: workload, Cores: cores, LLCMB: llcMB}
+	switch core {
+	case tech.Conventional:
+		p.Core = "conventional"
+	case tech.OoO:
+		p.Core = "ooo"
+	case tech.InOrder:
+		p.Core = "in-order"
+	default:
+		return SweepPoint{}, false
+	}
+	switch net.Kind {
+	case noc.Ideal:
+		p.Net = "ideal"
+	case noc.Crossbar:
+		p.Net = "crossbar"
+	case noc.Mesh:
+		p.Net = "mesh"
+	case noc.FlattenedButterfly:
+		p.Net = "flattened-butterfly"
+	case noc.NOCOut:
+		p.Net = "noc-out"
+		p.LLCTiles = net.LLCTiles
+	default:
+		return SweepPoint{}, false
+	}
+	if def := noc.New(net.Kind, cores); net.LinkBits != def.LinkBits {
+		p.LinkBits = net.LinkBits
+	}
+	return p, true
+}
+
+// roundTrips reports whether the wire point, resolved exactly as a
+// replica's /v1/sweep handler resolves it, reproduces the original
+// configuration's memo fingerprint. This is the safety gate that keeps
+// cluster output byte-identical to single-node output: a configuration
+// the wire cannot faithfully carry never leaves the process.
+func roundTrips(p SweepPoint, wantKey string) bool {
+	_, pt, err := p.point()
+	return err == nil && pt.Key() == wantKey
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"testing"
+
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+func suiteWorkload(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q not in suite", name)
+	}
+	return w
+}
+
+// TestWirePointRoundTrip: every wire-representable configuration must
+// convert to a SweepPoint that re-resolves to the exact memo key — the
+// invariant that keeps cluster results byte-identical.
+func TestWirePointRoundTrip(t *testing.T) {
+	w := suiteWorkload(t, workload.Names()[0])
+	nets := []noc.Config{
+		{}, // zero: simulator defaults to crossbar
+		noc.New(noc.Ideal, 16),
+		noc.New(noc.Crossbar, 16),
+		noc.New(noc.Mesh, 16),
+		noc.New(noc.FlattenedButterfly, 16),
+		noc.New(noc.NOCOut, 16),
+		noc.New(noc.NOCOut, 16).WithLinkBits(64),
+		noc.New(noc.Mesh, 16).WithLinkBits(256),
+	}
+	for i, net := range nets {
+		cfg := sim.Config{
+			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4, Net: net,
+			WarmupCycles: 500, MeasureCycles: 1000,
+		}
+		p, ok := WirePointSim(cfg)
+		if !ok {
+			t.Fatalf("net[%d] %v: WirePointSim declined", i, net.Kind)
+		}
+		_, pt, err := p.point()
+		if err != nil {
+			t.Fatalf("net[%d]: round-trip resolve: %v", i, err)
+		}
+		if pt.Key() != cfg.Key() {
+			t.Fatalf("net[%d]: round-trip key mismatch:\n got %s\nwant %s", i, pt.Key(), cfg.Key())
+		}
+	}
+
+	scfg := sim.StructuralConfig{
+		Workload: w, CoreType: tech.Conventional, Cores: 8, LLCMB: 2,
+		L1MSHRs: 16, Seed: 3,
+	}
+	p, ok := WirePointStructural(scfg)
+	if !ok {
+		t.Fatal("WirePointStructural declined a representable config")
+	}
+	kind, pt, err := p.point()
+	if err != nil || kind != "structural" {
+		t.Fatalf("round-trip resolve: kind %q, err %v", kind, err)
+	}
+	if pt.Key() != scfg.Key() {
+		t.Fatalf("structural round-trip key mismatch:\n got %s\nwant %s", pt.Key(), scfg.Key())
+	}
+}
+
+// TestWirePointDeclinesUnrepresentable: configurations the sweep API
+// cannot carry must be declined, never approximated.
+func TestWirePointDeclinesUnrepresentable(t *testing.T) {
+	w := suiteWorkload(t, workload.Names()[0])
+	base := sim.Config{Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4}
+
+	wireDelta := base
+	net := noc.New(noc.Mesh, 16)
+	net.WireDelta = -0.5
+	wireDelta.Net = net
+
+	express := base
+	net2 := noc.New(noc.NOCOut, 16)
+	net2.ExpressLinks = true
+	express.Net = net2
+
+	tileEdge := base
+	net3 := noc.New(noc.Mesh, 16)
+	net3.TileEdge = 2.5
+	tileEdge.Net = net3
+
+	modified := base
+	modified.Workload.APKI *= 1.5 // not the calibrated suite entry
+
+	invalid := base
+	invalid.Cores = 0
+
+	for name, cfg := range map[string]sim.Config{
+		"wire-delta": wireDelta, "express-links": express,
+		"tile-edge": tileEdge, "modified-workload": modified,
+		"invalid": invalid,
+	} {
+		if _, ok := WirePointSim(cfg); ok {
+			t.Errorf("%s: WirePointSim accepted an unrepresentable config", name)
+		}
+	}
+}
