@@ -1,104 +1,157 @@
+// Command calibrate validates the calibrated models and, with -out,
+// runs the tiered-evaluation error-bounding harness.
+//
+// Usage:
+//
+//	calibrate                        print the model-vs-target validation
+//	                                 tables (analytic catalog, simulator
+//	                                 cross-checks) on the parallel engine
+//	calibrate -out calibration.json  measure the analytic surrogate's
+//	                                 error against both simulators over a
+//	                                 grid, record every simulated point as
+//	                                 an anchor, and write the calibration
+//	                                 the tiered evaluator loads
+//	                                 (internal/tier, soproc -calibration,
+//	                                 soprocd -calibration)
+//	calibrate -out c.json -cores 16 -llc 4 -nets crossbar -figures=false
+//	                                 small grid, no figure-suite anchors
+//	calibrate -regions 2             coarser error regions (1 = kind/core,
+//	                                 2 = +net, 3 = +cores/LLC buckets)
+//
+// The harness grid is workloads x -cores x -llc x -nets on both the
+// statistical and the structural simulator; -figures (default true)
+// additionally replays the full figure suite under a recording engine
+// so every figure point becomes an anchor — after which tiered exact
+// regeneration (soproc -all -tier exact) serves the whole suite from
+// the calibration file, byte-identical, without re-simulating.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
-	"scaleout/internal/analytic"
-	"scaleout/internal/chip"
-	"scaleout/internal/core"
+	"os"
+	"strconv"
+	"strings"
+
+	"scaleout/internal/figures"
 	"scaleout/internal/noc"
-	"scaleout/internal/sim"
-	"scaleout/internal/tech"
-	"scaleout/internal/workload"
+	"scaleout/internal/tier"
 )
 
 func main() {
-	ws := workload.Suite()
-	// Fig 2.1: conventional core IPC, 4 cores, 4MB? use their sim config: 4 cores 4MB crossbar
-	fmt.Println("== Fig2.1-ish: per-workload conventional IPC (4c,4MB,xbar)")
-	for _, w := range ws {
-		d := analytic.NewDesign(tech.Conventional, 4, 4, noc.Crossbar)
-		fmt.Printf("  %-16s %.2f\n", w.Name, analytic.PerCoreIPC(w, d))
-	}
-	fmt.Println("== Catalog 40nm (target PD: conv .026 tiledO .060 llcO .084 IR .086 idealO .101 SO-O .092 | tiledI .099 llcI .131 IRI .145 idealI .167 SO-I .155)")
-	for _, s := range chip.Catalog(tech.N40(), ws) {
-		fmt.Printf("  %-28s PD %.3f cores %3d llc %4.0f MC %d die %5.0f pow %4.0f ppw %.2f\n",
-			s.Name(), s.PD(ws), s.Cores, s.LLCMB, s.MemChannels, s.DieArea(), s.Power(), s.PerfPerWatt(ws))
-	}
-	fmt.Println("== Catalog 20nm (targets: conv .067 tiledO .206 llcO .258 IR .294 ideal .366 SO .339 | tiledI .227 llcI .360 IRI .362 idealI .518 SO-I .441)")
-	for _, s := range chip.Catalog(tech.N20(), ws) {
-		fmt.Printf("  %-28s PD %.3f cores %3d llc %4.0f MC %d die %5.0f pow %4.0f ppw %.2f\n",
-			s.Name(), s.PD(ws), s.Cores, s.LLCMB, s.MemChannels, s.DieArea(), s.Power(), s.PerfPerWatt(ws))
-	}
-	fmt.Println("== Pod sweep OoO 40nm (expect opt 32c/4MB xbar, 16c/4MB within 5%)")
-	pts := core.Sweep(core.SweepSpace{Core: tech.OoO, MaxCores: 64, LLCSizes: []float64{1, 2, 4, 8}, Nets: []noc.Kind{noc.Crossbar}}, tech.N40(), ws)
-	for _, p := range pts {
-		if p.Pod.Cores >= 8 {
-			fmt.Printf("  %-10s PD %.3f\n", p.Pod, p.PD)
+	out := flag.String("out", "", "write calibration JSON here and skip the validation tables")
+	regions := flag.Int("regions", tier.DefaultGranularity, "error-region granularity: 1 = kind/core, 2 = +net, 3 = +cores/LLC buckets")
+	safety := flag.Float64("safety", tier.DefaultSafety, "band margin multiplied into each region's max observed error")
+	coresList := flag.String("cores", "16,32,64", "comma-separated core counts for the calibration grid (with -out)")
+	llcList := flag.String("llc", "2,4,8", "comma-separated LLC sizes in MB for the calibration grid (with -out)")
+	netsList := flag.String("nets", "crossbar,mesh", "comma-separated interconnects for the calibration grid (with -out)")
+	withFigures := flag.Bool("figures", true, "record the full figure suite as anchors (with -out)")
+	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *out != "" {
+		if err := runHarness(*out, *regions, *safety, *coresList, *llcList, *netsList, *withFigures, *parallel); err != nil {
+			fail(err)
 		}
+		return
 	}
-	fmt.Println("== Pod sweep IO 40nm (expect opt 32c/2MB xbar)")
-	pts = core.Sweep(core.SweepSpace{Core: tech.InOrder, MaxCores: 64, LLCSizes: []float64{1, 2, 4, 8}, Nets: []noc.Kind{noc.Crossbar}}, tech.N40(), ws)
-	for _, p := range pts {
-		if p.Pod.Cores >= 16 {
-			fmt.Printf("  %-10s PD %.3f\n", p.Pod, p.PD)
-		}
+	if err := runChecks(*parallel); err != nil {
+		fail(err)
 	}
-	fmt.Println("== per-workload OoO pod (16c/4MB) demand GB/s (target worst ~9.4) and IO pod (32c/2MB) (target ~15-17)")
-	for _, w := range ws {
-		dO := analytic.NewDesign(tech.OoO, 16, 4, noc.Crossbar)
-		dI := analytic.NewDesign(tech.InOrder, 32, 2, noc.Crossbar)
-		fmt.Printf("  %-16s OoO %.1f  IO %.1f\n", w.Name,
-			w.PeakOffChipGBs(tech.OoO, 4, 16, analytic.PerCoreIPC(w, dO)),
-			w.PeakOffChipGBs(tech.InOrder, 2, 32, analytic.PerCoreIPC(w, dI)))
-	}
-	// pod bw
-	podO := core.Pod{Core: tech.OoO, Cores: 16, LLCMB: 4, Net: noc.Crossbar}
-	podI := core.Pod{Core: tech.InOrder, Cores: 32, LLCMB: 2, Net: noc.Crossbar}
-	fmt.Printf("pod OoO peak BW %.1f GB/s (target ~9.4x1.25), pod IO %.1f (target ~15x1.2=18)\n", podO.PeakBandwidthGBs(ws), podI.PeakBandwidthGBs(ws))
-	so, _ := core.Compose(tech.N40(), podO, ws)
-	fmt.Printf("Compose OoO 40nm: pods %d MC %d die %.0f pow %.0f limit %s\n", so.Pods, so.MemChannels, so.DieArea(), so.Power(), so.Limit)
-	si, _ := core.Compose(tech.N40(), podI, ws)
-	fmt.Printf("Compose IO 40nm: pods %d MC %d die %.0f pow %.0f limit %s\n", si.Pods, si.MemChannels, si.DieArea(), si.Power(), si.Limit)
-	so2, _ := core.Compose(tech.N20(), podO, ws)
-	fmt.Printf("Compose OoO 20nm: pods %d MC %d die %.0f pow %.0f limit %s\n", so2.Pods, so2.MemChannels, so2.DieArea(), so2.Power(), so2.Limit)
-	si2, _ := core.Compose(tech.N20(), podI, ws)
-	fmt.Printf("Compose IO 20nm: pods %d MC %d die %.0f pow %.0f limit %s\n", si2.Pods, si2.MemChannels, si2.DieArea(), si2.Power(), si2.Limit)
-	simCheck()
-	structCheck()
 }
 
-func simCheck() {
-	ws := workload.Suite()
-	fmt.Println("== sim vs analytic: OoO 4MB crossbar (16 cores), snoop% target in []")
-	for _, w := range ws {
-		cfg := sim.Config{Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4, Net: noc.New(noc.Crossbar, 16), DisableSWScaling: true}
-		r, err := sim.Run(cfg)
+// runHarness is the error-bounding calibration: grid + optional figure
+// suite through tier.Calibrate, summary on stdout, JSON to out.
+func runHarness(out string, regions int, safety float64, coresList, llcList, netsList string, withFigures bool, parallel int) error {
+	cores, err := parseInts(coresList)
+	if err != nil {
+		return fmt.Errorf("-cores: %w", err)
+	}
+	llc, err := parseFloats(llcList)
+	if err != nil {
+		return fmt.Errorf("-llc: %w", err)
+	}
+	nets, err := parseNets(netsList)
+	if err != nil {
+		return fmt.Errorf("-nets: %w", err)
+	}
+	opts := tier.Options{
+		Cores:       cores,
+		LLCMB:       llc,
+		Nets:        nets,
+		Granularity: regions,
+		Safety:      safety,
+		Workers:     parallel,
+	}
+	if withFigures {
+		opts.Suites = func(ctx context.Context) error {
+			_, err := figures.RunAllContext(ctx)
+			return err
+		}
+	}
+	cal, err := tier.Calibrate(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	if err := cal.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("calibrate: %d regions, %d sim anchors, %d structural anchors -> %s\n",
+		len(cal.Regions), len(cal.SimAnchors), len(cal.StructuralAnchors), out)
+	for _, r := range cal.Regions {
+		fmt.Printf("  %-40s samples %4d  max %6.3f  mean %6.3f\n",
+			r.Key, r.Samples, r.MaxRelErr, r.MeanRelErr)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		d := analytic.NewDesign(tech.OoO, 16, 4, noc.Crossbar)
-		fmt.Printf("  %-16s sim %.2f  model %.2f  snoop %.1f%% [%.1f]  miss %.3f  bw %.1fGB/s\n",
-			w.Name, r.AppIPC, analytic.ChipIPC(w, d), r.SnoopRatePct, w.SnoopPct, r.MissRatio(), r.OffChipGBs)
+		out = append(out, v)
 	}
-	fmt.Println("== sim 64-core pod: mesh vs fbfly vs nocout (normalized to mesh)")
-	for _, w := range ws {
-		var ipc [3]float64
-		for k, kind := range []noc.Kind{noc.Mesh, noc.FlattenedButterfly, noc.NOCOut} {
-			cores := 64
-			if w.ScaleLimit < cores {
-				cores = w.ScaleLimit
-			}
-			net := noc.New(kind, 64) // full-pod topology
-			if kind == noc.NOCOut {
-				net.Cores = cores // active cores sit adjacent to the LLC
-			}
-			cfg := sim.Config{Workload: w, CoreType: tech.OoO, Cores: cores, LLCMB: 8, Net: net, MemChannels: 4}
-			r, err := sim.Run(cfg)
-			if err != nil {
-				panic(err)
-			}
-			ipc[k] = r.AppIPC
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
 		}
-		fmt.Printf("  %-16s mesh 1.00  fbfly %.2f  nocout %.2f\n", w.Name, ipc[1]/ipc[0], ipc[2]/ipc[0])
+		out = append(out, v)
 	}
+	return out, nil
+}
+
+func parseNets(s string) ([]noc.Kind, error) {
+	var out []noc.Kind
+	for _, f := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(f)) {
+		case "ideal":
+			out = append(out, noc.Ideal)
+		case "crossbar":
+			out = append(out, noc.Crossbar)
+		case "mesh":
+			out = append(out, noc.Mesh)
+		case "flattened-butterfly", "fbfly":
+			out = append(out, noc.FlattenedButterfly)
+		case "noc-out", "nocout":
+			out = append(out, noc.NOCOut)
+		default:
+			return nil, fmt.Errorf("unknown net %q", f)
+		}
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
 }

@@ -9,11 +9,13 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"scaleout/internal/analytic"
 	"scaleout/internal/exp"
 	"scaleout/internal/figures"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
+	"scaleout/internal/tier"
 	"scaleout/internal/workload"
 )
 
@@ -24,12 +26,20 @@ import (
 // seeds the repo's performance trajectory: CI runs a one-iteration
 // smoke of the same harness, and EXPERIMENTS.md quotes its numbers.
 
-// benchPoint is one measured configuration.
+// benchPoint is one measured configuration. The tiered points
+// (tiered16/32/64, runall_tiered) reuse the two timing columns as
+// tiered-vs-untiered: EventNs is the tiered evaluation, LockstepNs the
+// full simulation of the same work, Speedup their ratio; they
+// additionally record the analytic surrogate's scoring cost and the
+// fraction of points that escalated to the structural simulator.
 type benchPoint struct {
 	Name       string  `json:"name"`
 	EventNs    int64   `json:"event_ns_per_point"`
 	LockstepNs int64   `json:"lockstep_ns_per_point"`
 	Speedup    float64 `json:"speedup"`
+	// SurrogateNs and EscalationRate are zero for non-tiered points.
+	SurrogateNs    int64   `json:"surrogate_ns_per_point"`
+	EscalationRate float64 `json:"escalation_rate"`
 }
 
 // benchReport is the BENCH_kernel.json schema.
@@ -175,6 +185,12 @@ func runBench(path string, iters, workers int, cpuProfile string) error {
 	}
 	report.Points = append(report.Points, p)
 
+	tiered, err := benchTiered(iters, workers, p.EventNs)
+	if err != nil {
+		return err
+	}
+	report.Points = append(report.Points, tiered...)
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -185,4 +201,122 @@ func runBench(path string, iters, workers int, cpuProfile string) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return nil
+}
+
+// benchTiered measures the tiered evaluator. tiered16/32/64 run a
+// fast-mode structural sweep (the workload suite across LLC sizes, at a
+// seed the calibration grid never anchored) under a top-4 rank-edge
+// decision, against the same sweep fully simulated; runall_tiered
+// regenerates every figure in exact tier mode against a calibration
+// that recorded the whole suite, against runallNs (the untiered harness
+// time measured just before). Calibration itself is never timed — it is
+// the one-off cost the tiers amortize.
+func benchTiered(iters, workers int, runallNs int64) ([]benchPoint, error) {
+	ws := workload.Suite()
+	gridCal, err := tier.Calibrate(context.Background(), tier.Options{Workers: workers})
+	if err != nil {
+		return nil, fmt.Errorf("tiered calibration: %w", err)
+	}
+
+	var points []benchPoint
+	emit := func(p benchPoint) {
+		fmt.Printf("%-20s tiered %12s   full %12s   speedup %.2fx   surrogate %8s   escalation %.2f\n",
+			p.Name,
+			time.Duration(p.EventNs).Round(time.Microsecond),
+			time.Duration(p.LockstepNs).Round(time.Microsecond),
+			p.Speedup,
+			time.Duration(p.SurrogateNs).Round(time.Nanosecond),
+			p.EscalationRate)
+		points = append(points, p)
+	}
+
+	for _, n := range []int{16, 32, 64} {
+		var batch []sim.StructuralConfig
+		for _, w := range ws {
+			for _, llc := range []float64{2, 4, 8} {
+				batch = append(batch, sim.StructuralConfig{
+					Workload: w, CoreType: tech.OoO, Cores: n, LLCMB: llc, Seed: 2,
+				})
+			}
+		}
+		name := fmt.Sprintf("tiered%d", n)
+		ev := tier.New(gridCal, tier.Fast)
+		decision := tier.TopK{K: 4}
+		tiered, err := timeRuns(iters, func() error {
+			// A fresh engine per run: escalated points must simulate,
+			// not hit a memo warmed by the previous iteration.
+			ctx := exp.WithEngine(context.Background(), exp.New(workers))
+			_, _, err := ev.StructuralsDecided(ctx, batch, decision)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		full, err := timeRuns(iters, func() error {
+			ctx := exp.WithEngine(context.Background(), exp.New(workers))
+			_, err := exp.Structurals(ctx, batch)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s (full): %w", name, err)
+		}
+		surrogate, err := timeRuns(iters, func() error {
+			for _, c := range batch {
+				cc, err := c.Canonical()
+				if err != nil {
+					return err
+				}
+				analytic.Surrogate(analytic.SurrogateSpec{
+					Workload:    cc.Workload,
+					Design:      analytic.DesignFor(cc.CoreType, cc.Cores, cc.LLCMB, cc.Net),
+					MSHRs:       cc.L1MSHRs,
+					SWScaling:   true,
+					MemChannels: cc.MemChannels,
+				})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s (surrogate): %w", name, err)
+		}
+		emit(benchPoint{
+			Name:           name,
+			EventNs:        tiered.Nanoseconds() / int64(len(batch)),
+			LockstepNs:     full.Nanoseconds() / int64(len(batch)),
+			Speedup:        float64(full) / float64(tiered),
+			SurrogateNs:    surrogate.Nanoseconds() / int64(len(batch)),
+			EscalationRate: ev.Stats().EscalationRate,
+		})
+	}
+
+	// The exact tier over the whole harness: anchors recorded from one
+	// full regeneration serve every figure point byte-identically.
+	suiteCal, err := tier.Calibrate(context.Background(), tier.Options{
+		Workers: workers,
+		Suites: func(ctx context.Context) error {
+			_, err := figures.RunAllContext(ctx)
+			return err
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("suite calibration: %w", err)
+	}
+	evExact := tier.New(suiteCal, tier.Exact)
+	tiered, err := timeRuns(iters, func() error {
+		ctx := exp.WithEngine(context.Background(), exp.New(workers))
+		ctx = exp.WithTier(ctx, evExact)
+		_, err := figures.RunAllContext(ctx)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runall_tiered: %w", err)
+	}
+	emit(benchPoint{
+		Name:           "runall_tiered",
+		EventNs:        tiered.Nanoseconds(),
+		LockstepNs:     runallNs,
+		Speedup:        float64(runallNs) / float64(tiered.Nanoseconds()),
+		EscalationRate: evExact.Stats().EscalationRate,
+	})
+	return points, nil
 }

@@ -15,6 +15,14 @@
 //	                             (internal/cluster); output is
 //	                             byte-identical to a local run
 //	soproc -bench                time the kernels, write BENCH_kernel.json
+//	soproc -all -tier exact -calibration cal.json
+//	                             tiered regeneration: anchors recorded by
+//	                             cmd/calibrate serve matching points without
+//	                             re-simulating; output stays byte-identical
+//	soproc -all -tier fast -calibration cal.json
+//	                             ... additionally serve certified interior
+//	                             points from the analytic surrogate
+//	                             (approximate, explicitly opted in)
 //
 // To serve the same experiments and ad-hoc sweeps over HTTP from a
 // long-running process, see cmd/soprocd; its /v1/exp/{id} responses are
@@ -47,6 +55,7 @@ import (
 	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/figures"
+	"scaleout/internal/tier"
 )
 
 func main() {
@@ -58,6 +67,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort if regeneration exceeds this duration (0 = none)")
 	verbose := flag.Bool("v", false, "report engine statistics on stderr")
 	peers := flag.String("peers", "", "comma-separated soprocd replicas (host:port) to shard simulator points across")
+	tierName := flag.String("tier", "off", "tiered evaluation: off | exact (anchor-served, byte-identical) | fast (surrogate for certified interior points)")
+	calPath := flag.String("calibration", "", "calibration.json from cmd/calibrate (with -tier)")
 	bench := flag.Bool("bench", false, "benchmark the simulation kernels and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_kernel.json", "benchmark report path (with -bench)")
 	benchIters := flag.Int("bench-iters", 5, "measured iterations per benchmark point (with -bench)")
@@ -91,6 +102,28 @@ func main() {
 		eng.SetRoute(coord.Route)
 	}
 	ctx := exp.WithEngine(context.Background(), eng)
+	var ev *tier.Evaluator
+	if *tierName != "off" {
+		mode, ok := tier.ParseMode(*tierName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "soproc: unknown -tier %q (want off, exact, or fast)\n", *tierName)
+			flag.Usage()
+			os.Exit(2)
+		}
+		var cal *tier.Calibration
+		if *calPath != "" {
+			cal, err = tier.Load(*calPath)
+			if err != nil {
+				fail(err)
+			}
+		}
+		ev = tier.New(cal, mode)
+		ctx = exp.WithTier(ctx, ev)
+	} else if *calPath != "" {
+		fmt.Fprintln(os.Stderr, "soproc: -calibration requires -tier exact or -tier fast")
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -126,6 +159,11 @@ func main() {
 		st := eng.Stats()
 		fmt.Fprintf(os.Stderr, "soproc: %d workers, %d points simulated, %d served from memo, %s\n",
 			eng.Workers(), st.Misses, st.Hits, time.Since(start).Round(time.Millisecond))
+		if ev != nil {
+			ts := ev.Stats()
+			fmt.Fprintf(os.Stderr, "soproc: tier: %d scored, %d anchor hits, %d surrogate, %d escalated (rate %.3f)\n",
+				ts.Scored, ts.AnchorHits, ts.SurrogateServed, ts.Escalated, ts.EscalationRate)
+		}
 		if coord != nil {
 			cs := coord.Stats()
 			fmt.Fprintf(os.Stderr, "soproc: cluster: %d routed in %d posts, %d failovers, %d local fallbacks, %d unroutable\n",

@@ -12,6 +12,10 @@
 //	soprocd -drain 1m                graceful-shutdown drain window
 //	soprocd -peers host:a,host:b     coordinate: shard sweep points across
 //	                                 those soprocd replicas by fingerprint
+//	soprocd -calibration cal.json    load a cmd/calibrate error-bounding
+//	                                 run: anchors serve matching points
+//	                                 exactly, certified regions enable
+//	                                 tier:"fast" sweep requests
 //
 // Endpoints (see internal/serve):
 //
@@ -57,6 +61,7 @@ import (
 	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/serve"
+	"scaleout/internal/tier"
 )
 
 func main() {
@@ -65,10 +70,20 @@ func main() {
 	memoCap := flag.Int("memo-cap", 16384, "max resident memo entries (0 = unbounded)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 	peers := flag.String("peers", "", "comma-separated soprocd replicas (host:port) to shard sweep points across; empty = single node")
+	calPath := flag.String("calibration", "", "calibration.json from cmd/calibrate: anchors plus certified error regions for tiered evaluation")
 	flag.Parse()
 
 	eng := exp.NewBounded(*parallel, *memoCap)
 	srv := serve.New(eng)
+	if *calPath != "" {
+		cal, err := tier.Load(*calPath)
+		if err != nil {
+			log.Fatalf("soprocd: %v", err)
+		}
+		srv.SetTier(tier.New(cal, tier.Exact))
+		log.Printf("soprocd: calibration %s: %d regions, %d anchors",
+			*calPath, len(cal.Regions), len(cal.SimAnchors)+len(cal.StructuralAnchors))
+	}
 	if *peers != "" {
 		coord, err := cluster.New(strings.Split(*peers, ","))
 		if err != nil {

@@ -3,7 +3,11 @@
 // points a coordinator engine at them, regenerates every experiment
 // through the cluster, and verifies the output is byte-identical to a
 // single-node run — with the memo spread across the replicas instead of
-// resident in one process.
+// resident in one process. It then runs a fast-tier sweep
+// (internal/tier) through the same coordinator and verifies the tier
+// split survives forwarding: escalated points route to the replicas
+// like any structural point, while surrogate-answered points never
+// leave the coordinator.
 //
 // Run with:
 //
@@ -22,7 +26,12 @@ import (
 	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/figures"
+	"scaleout/internal/noc"
 	"scaleout/internal/serve"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/tier"
+	"scaleout/internal/workload"
 )
 
 // replica is one in-process soprocd: its own engine (its shard of the
@@ -102,4 +111,38 @@ func main() {
 		es := r.eng.Stats()
 		fmt.Printf("  replica %d (%s): %d points computed, %d resident\n", i+1, r.addr, es.Misses, es.MemoSize)
 	}
+
+	// Tiered evaluation over the same cluster: calibrate a small grid,
+	// then sweep structural configurations at an uncalibrated seed in
+	// fast mode under a top-4 rank-edge decision. Certified interior
+	// points are answered from the analytic surrogate on the
+	// coordinator; only escalated points become routable work.
+	cal, err := tier.Calibrate(context.Background(), tier.Options{
+		Cores: []int{16}, LLCMB: []float64{2, 4, 8}, Nets: []noc.Kind{noc.Crossbar},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := tier.New(cal, tier.Fast)
+	var sweep []sim.StructuralConfig
+	for _, w := range workload.Suite() {
+		for _, llc := range []float64{2, 4, 8} {
+			sweep = append(sweep, sim.StructuralConfig{
+				Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: llc, Seed: 2,
+			})
+		}
+	}
+	before := coord.Stats()
+	if _, _, err := ev.StructuralsDecided(exp.WithEngine(context.Background(), eng), sweep, tier.TopK{K: 4}); err != nil {
+		log.Fatal(err)
+	}
+	ts := ev.Stats()
+	delta := coord.Stats().Routed - before.Routed
+	fmt.Printf("\ntiered fast sweep through the cluster: %d points scored, %d surrogate-served, %d escalated\n",
+		ts.Scored, ts.SurrogateServed, ts.Escalated)
+	if ts.Escalated != delta {
+		log.Fatalf("escalated %d points but the coordinator routed %d", ts.Escalated, delta)
+	}
+	fmt.Printf("  all %d escalated points routed to replicas; %d surrogate answers never left the coordinator\n",
+		delta, ts.SurrogateServed)
 }

@@ -103,6 +103,16 @@ func routingDisabled(ctx context.Context) bool {
 	return on
 }
 
+// RoutingDisabled reports whether DisableRouting marked ctx. The tiered
+// evaluator (internal/tier) uses it together with HasRoute to decide
+// whether escalated points should go through the routable per-point
+// path (so a cluster coordinator can ship them to replicas) or the
+// local shape-batched path.
+func RoutingDisabled(ctx context.Context) bool { return routingDisabled(ctx) }
+
+// HasRoute reports whether a router is installed (SetRoute).
+func (e *Engine) HasRoute() bool { return e.route.Load() != nil }
+
 // memoEntry is the memo slot for one key. done is closed once val/err
 // are final, so concurrent requests for an in-flight key wait instead of
 // recomputing. refs (guarded by Engine.mu) counts the owner computing
@@ -421,6 +431,77 @@ func (e *Engine) lruRemoveLocked(ent *memoEntry) {
 	}
 	ent.prev, ent.next = nil, nil
 	ent.inLRU = false
+}
+
+// Cached returns the memoized value for key if a computation for it has
+// already completed successfully, without waiting: an in-flight key, a
+// failed key, or an absent key all report ok=false. A successful lookup
+// counts as a memo hit and refreshes the entry's LRU position on a
+// bounded engine. Cached deliberately does not join an in-flight
+// computation — callers that want single-flight semantics use Do; this
+// is the peek the tiered evaluator takes before deciding to batch
+// escalated points itself.
+func (e *Engine) Cached(key string) (any, bool) {
+	if key == "" {
+		return nil, false
+	}
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	if !ok {
+		e.mu.Unlock()
+		return nil, false
+	}
+	select {
+	case <-ent.done:
+	default: // in flight: do not wait
+		e.mu.Unlock()
+		return nil, false
+	}
+	if ent.err != nil {
+		e.mu.Unlock()
+		return nil, false
+	}
+	if e.capacity > 0 && ent.inLRU {
+		e.lruRemoveLocked(ent)
+		e.lruPushFrontLocked(ent)
+	}
+	val := ent.val
+	e.mu.Unlock()
+	e.hits.Add(1)
+	return val, true
+}
+
+// Seed inserts a completed (key, val) pair into the memo, as if a Do
+// for key had just computed val, and reports whether the insert
+// happened: a key that is already resident or in flight is left
+// untouched (the existing computation wins). The tiered evaluator uses
+// Seed to publish results it computed through the shape-batched
+// structural path, so later Do calls for the same key — from a figure
+// generator or an HTTP sweep — are memo hits instead of recomputations.
+// The pair must obey the same contract as Do: val must be the value the
+// key's computation would produce.
+func (e *Engine) Seed(key string, val any) bool {
+	if key == "" {
+		return false
+	}
+	closed := make(chan struct{})
+	close(closed)
+	ent := &memoEntry{key: key, done: closed, val: val}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.memo[key]; ok {
+		return false
+	}
+	// A seeded insert is a computation entering the memo, exactly like a
+	// Do miss — count it as one, so "points simulated" stays truthful
+	// whichever path ran the simulator.
+	e.misses.Add(1)
+	e.memo[key] = ent
+	if e.capacity > 0 {
+		e.lruPushFrontLocked(ent)
+		e.trimLocked()
+	}
+	return true
 }
 
 // IsCancellation reports whether err is a context cancellation or

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// Seed inserts a completed entry: Do serves it without running its
+// compute function, and Cached peeks it (counting a memo hit).
+func TestSeedServesDo(t *testing.T) {
+	e := New(1)
+	if !e.Seed("k", 42) {
+		t.Fatal("Seed of a fresh key reported no-op")
+	}
+	v, err := e.Do(context.Background(), "k", func() (any, error) {
+		t.Error("compute ran for a seeded key")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("Do returned %v for seeded key, want 42", v)
+	}
+	cv, ok := e.Cached("k")
+	if !ok || cv != 42 {
+		t.Fatalf("Cached returned (%v, %v), want (42, true)", cv, ok)
+	}
+	if st := e.Stats(); st.Hits < 2 {
+		t.Fatalf("seeded key served %d hits, want >= 2 (Do + Cached)", st.Hits)
+	}
+}
+
+// Seeding a resident key is a no-op: the first value wins, matching the
+// memo's single-flight semantics.
+func TestSeedDoesNotOverwrite(t *testing.T) {
+	e := New(1)
+	e.Seed("k", "first")
+	if e.Seed("k", "second") {
+		t.Fatal("re-Seed of a resident key reported success")
+	}
+	v, _ := e.Cached("k")
+	if v != "first" {
+		t.Fatalf("re-Seed overwrote value: got %v", v)
+	}
+}
+
+// Cached never blocks: an in-flight entry (compute still running) is a
+// miss, not a wait.
+func TestCachedDoesNotBlockOnInflight(t *testing.T) {
+	e := New(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Do(context.Background(), "slow", func() (any, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	if _, ok := e.Cached("slow"); ok {
+		t.Error("Cached returned an in-flight entry")
+	}
+	if e.Seed("slow", 99) {
+		t.Error("Seed displaced an in-flight entry")
+	}
+	close(release)
+	<-done
+	if v, ok := e.Cached("slow"); !ok || v != 1 {
+		t.Errorf("after compute finished, Cached = (%v, %v), want (1, true)", v, ok)
+	}
+}
+
+// Seeded entries live in the bounded memo's LRU like computed ones:
+// seeding past capacity evicts the least-recently-used key.
+func TestSeedRespectsCapacity(t *testing.T) {
+	e := NewBounded(1, 2)
+	e.Seed("a", 1)
+	e.Seed("b", 2)
+	e.Cached("a") // refresh a; b is now least recently used
+	e.Seed("c", 3)
+	if _, ok := e.Cached("b"); ok {
+		t.Error("LRU key survived seeding past capacity")
+	}
+	if _, ok := e.Cached("a"); !ok {
+		t.Error("recently-used key was evicted")
+	}
+	if st := e.Stats(); st.Evictions == 0 {
+		t.Error("eviction not counted")
+	}
+}

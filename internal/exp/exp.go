@@ -220,8 +220,13 @@ func resolve[R any](ctx context.Context, e *Engine, p Point[R]) (R, error) {
 }
 
 // Sims evaluates a batch of cycle-simulator configurations on the
-// context's engine (FromContext).
+// context's engine (FromContext). A context carrying a tiered
+// evaluator (WithTier) evaluates the batch through it instead; the
+// default path runs every point on the simulator.
 func Sims(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error) {
+	if t := TierFromContext(ctx); t != nil {
+		return t.Sims(ctx, cfgs)
+	}
 	pts := make([]Point[sim.Result], len(cfgs))
 	for i, c := range cfgs {
 		pts[i] = SimPoint{c}
@@ -230,8 +235,12 @@ func Sims(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error) {
 }
 
 // Structurals evaluates a batch of structural-simulator configurations
-// on the context's engine (FromContext).
+// on the context's engine (FromContext). Like Sims, it defers to the
+// context's tiered evaluator when one is installed (WithTier).
 func Structurals(ctx context.Context, cfgs []sim.StructuralConfig) ([]sim.StructuralResult, error) {
+	if t := TierFromContext(ctx); t != nil {
+		return t.Structurals(ctx, cfgs)
+	}
 	pts := make([]Point[sim.StructuralResult], len(cfgs))
 	for i, c := range cfgs {
 		pts[i] = StructuralPoint{c}

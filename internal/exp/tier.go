@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"context"
+
+	"scaleout/internal/sim"
+)
+
+// Tier is a tiered evaluator for simulator batches: an implementation
+// (internal/tier) may answer points from calibration anchors or — when
+// the caller opted into its fast mode — from the calibrated analytic
+// surrogate, escalating only the points whose answer could change a
+// decision to the real simulators. Sims and Structurals consult the
+// context's Tier (WithTier) before fanning points out, so every figure
+// generator and sweep in the repository becomes tier-aware without
+// changing its code.
+//
+// The contract mirrors Sims/Structurals: results in input order, first
+// error aborts the batch. An implementation escalates through
+// Points/SimPoint/StructuralPoint (never back through Sims/Structurals,
+// which would recurse), so escalated points keep the engine's memo,
+// single-flight, and cluster routing semantics.
+type Tier interface {
+	// Sims evaluates statistical-simulator configurations.
+	Sims(ctx context.Context, cfgs []sim.Config) ([]sim.Result, error)
+	// Structurals evaluates structural-simulator configurations.
+	Structurals(ctx context.Context, cfgs []sim.StructuralConfig) ([]sim.StructuralResult, error)
+}
+
+type tierKey struct{}
+
+// WithTier returns a context whose Sims/Structurals batches are
+// evaluated through t. This is how `soproc -tier` and the serve layer
+// install the tiered evaluator underneath the unmodified figure
+// generators; a nil t removes an inherited tier.
+func WithTier(ctx context.Context, t Tier) context.Context {
+	return context.WithValue(ctx, tierKey{}, t)
+}
+
+// TierFromContext returns the context's tiered evaluator, or nil if
+// batches should go straight to the simulators.
+func TierFromContext(ctx context.Context) Tier {
+	t, _ := ctx.Value(tierKey{}).(Tier)
+	return t
+}

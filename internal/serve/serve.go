@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"scaleout/internal/exp"
@@ -44,6 +45,7 @@ import (
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
+	"scaleout/internal/tier"
 	"scaleout/internal/workload"
 )
 
@@ -66,6 +68,12 @@ type Server struct {
 	known map[string]bool // registered experiment IDs
 	start time.Time
 
+	// tier is the tiered evaluator every sweep and experiment runs
+	// through. New installs an uncalibrated evaluator (exact mode, no
+	// anchors — behaviour and output identical to direct simulation);
+	// SetTier swaps in a calibrated one (soprocd -calibration).
+	tier *tier.Evaluator
+
 	// clusterStats, if set (SetClusterStats), supplies the /statsz
 	// "cluster" section for a coordinator daemon.
 	clusterStats func() any
@@ -76,6 +84,19 @@ type Server struct {
 // cluster.Coordinator.Stats here. Call before serving; a nil hook (the
 // default) omits the section.
 func (s *Server) SetClusterStats(fn func() any) { s.clusterStats = fn }
+
+// SetTier replaces the server's tiered evaluator — how soprocd installs
+// one loaded with a calibration file. Call before serving; a nil ev
+// restores the uncalibrated default. The evaluator's default mode
+// applies to /v1/exp (always exact, preserving byte-identity with the
+// CLI); /v1/sweep requests select their mode per request via the tier
+// field.
+func (s *Server) SetTier(ev *tier.Evaluator) {
+	if ev == nil {
+		ev = tier.New(nil, tier.Exact)
+	}
+	s.tier = ev
+}
 
 // New returns a server running every request on eng (nil selects the
 // process-wide default engine).
@@ -88,6 +109,7 @@ func New(eng *exp.Engine) *Server {
 		mux:   http.NewServeMux(),
 		known: make(map[string]bool),
 		start: time.Now(),
+		tier:  tier.New(nil, tier.Exact),
 	}
 	for _, id := range figures.IDs() {
 		s.known[id] = true
@@ -133,7 +155,10 @@ type StatsResponse struct {
 	Memo          MemoStats `json:"memo"`
 	Experiments   int       `json:"experiments"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
-	Cluster       any       `json:"cluster,omitempty"`
+	// Tier is the tiered evaluator's per-tier point counters and
+	// escalation rate (tier.Stats).
+	Tier    tier.Stats `json:"tier"`
+	Cluster any        `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -151,6 +176,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		},
 		Experiments:   len(s.known),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Tier:          s.tier.Stats(),
 	}
 	if s.clusterStats != nil {
 		resp.Cluster = s.clusterStats()
@@ -185,7 +211,10 @@ func (s *Server) handleExp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx := exp.WithEngine(r.Context(), s.eng)
+	// Experiments always run through the tiered evaluator in exact mode:
+	// every value is a genuine simulator result (anchor-served or
+	// escalated), so the body stays byte-identical to the CLI's.
+	ctx := exp.WithTier(tier.WithMode(exp.WithEngine(r.Context(), s.eng), tier.Exact), s.tier)
 	var tables []figures.Table
 	if id == "all" {
 		tables, err = figures.RunAllContext(ctx)
@@ -261,8 +290,15 @@ type SweepPoint struct {
 	L1MSHRs int `json:"l1_mshrs,omitempty"`
 }
 
-// SweepRequest is the /v1/sweep body.
+// SweepRequest is the /v1/sweep body. Tier selects the evaluation
+// tier: "exact" (the default, also the empty string) answers every
+// point with a genuine simulator result — from the calibration anchor
+// store when the fingerprint matches, otherwise simulated — while
+// "fast" additionally serves calibration-certified interior points from
+// the analytic surrogate, tagged source:"surrogate" in the result.
+// Unknown tier names are rejected with 400.
 type SweepRequest struct {
+	Tier   string       `json:"tier,omitempty"`
 	Points []SweepPoint `json:"points"`
 }
 
@@ -303,25 +339,79 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	mode, ok := tier.ParseMode(req.Tier)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown tier %q (want exact or fast)", req.Tier), http.StatusBadRequest)
+		return
+	}
+
+	// Group the points by simulator kind: each group is one batch
+	// through the tiered evaluator, which scores every point on the
+	// surrogate and escalates only what the tier mode requires.
 	kinds := make([]string, len(req.Points))
-	pts := make([]exp.Point[any], len(req.Points))
+	var simIdx []int
+	var simCfgs []sim.Config
+	var structIdx []int
+	var structCfgs []sim.StructuralConfig
 	for i, p := range req.Points {
-		kind, pt, err := p.point()
+		kind, cfg, err := p.config()
 		if err != nil {
 			http.Error(w, fmt.Sprintf("point %d: %v", i, err), http.StatusBadRequest)
 			return
 		}
-		kinds[i], pts[i] = kind, pt
+		kinds[i] = kind
+		switch c := cfg.(type) {
+		case sim.Config:
+			simIdx = append(simIdx, i)
+			simCfgs = append(simCfgs, c)
+		case sim.StructuralConfig:
+			structIdx = append(structIdx, i)
+			structCfgs = append(structCfgs, c)
+		}
 	}
 
-	ctx := exp.WithEngine(r.Context(), s.eng)
+	ctx := tier.WithMode(exp.WithEngine(r.Context(), s.eng), mode)
 	if r.Header.Get(ForwardedHeader) != "" {
 		// Already forwarded once by a coordinator: compute here, never
 		// re-route, so a peer cycle cannot bounce work forever.
 		ctx = exp.DisableRouting(ctx)
 	}
-	out, err := exp.Points(ctx, s.eng, pts)
-	if err != nil {
+
+	resp := SweepResponse{Results: make([]SweepResult, len(req.Points))}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	if len(simCfgs) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.tier.Sims(ctx, simCfgs)
+			if err != nil {
+				errs[0] = err
+				return
+			}
+			for k, i := range simIdx {
+				r := res[k]
+				resp.Results[i].Sim = &r
+			}
+		}()
+	}
+	if len(structCfgs) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.tier.Structurals(ctx, structCfgs)
+			if err != nil {
+				errs[1] = err
+				return
+			}
+			for k, i := range structIdx {
+				r := res[k]
+				resp.Results[i].Structural = &r
+			}
+		}()
+	}
+	wg.Wait()
+	if err := exp.FirstError(errs, nil); err != nil {
 		status := http.StatusInternalServerError
 		if exp.IsCancellation(err) {
 			status = http.StatusServiceUnavailable
@@ -330,24 +420,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp := SweepResponse{Results: make([]SweepResult, len(out))}
-	for i, v := range out {
+	for i := range resp.Results {
 		resp.Results[i].Kind = kinds[i]
-		switch res := v.(type) {
-		case sim.Result:
-			r := res
-			resp.Results[i].Sim = &r
-		case sim.StructuralResult:
-			r := res
-			resp.Results[i].Structural = &r
-		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// point resolves the symbolic request into a typed engine point keyed
-// by the configuration's canonical fingerprint.
-func (p SweepPoint) point() (kind string, _ exp.Point[any], err error) {
+// config resolves the symbolic request into a validated simulator
+// configuration — a sim.Config or sim.StructuralConfig matching kind.
+func (p SweepPoint) config() (kind string, cfg any, err error) {
 	w, ok := workload.ByName(p.Workload)
 	if !ok {
 		return "", nil, fmt.Errorf("unknown workload %q (want one of: %s)",
@@ -363,41 +444,58 @@ func (p SweepPoint) point() (kind string, _ exp.Point[any], err error) {
 	}
 	switch p.Kind {
 	case "", "sim":
-		cfg := sim.Config{
+		if p.L1MSHRs != 0 {
+			return "", nil, fmt.Errorf("l1_mshrs applies to structural points only")
+		}
+		c := sim.Config{
 			Workload: w, CoreType: core, Cores: p.Cores, LLCMB: p.LLCMB,
 			Net: net, MemChannels: p.MemChannels,
 			WarmupCycles: p.WarmupCycles, MeasureCycles: p.MeasureCycles,
 			Seed: p.Seed, DisableSWScaling: p.DisableSWScaling,
 		}
-		if p.L1MSHRs != 0 {
-			return "", nil, fmt.Errorf("l1_mshrs applies to structural points only")
-		}
-		if _, err := cfg.Canonical(); err != nil {
+		if _, err := c.Canonical(); err != nil {
 			return "", nil, err
 		}
-		// The payload makes the point routable: a coordinator daemon
-		// re-shards ad-hoc sweep points to the replicas owning them.
-		return "sim", exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
-			return sim.Run(cfg)
-		}}, nil
+		return "sim", c, nil
 	case "structural":
 		if p.DisableSWScaling {
 			return "", nil, fmt.Errorf("disable_sw_scaling applies to sim points only")
 		}
-		cfg := sim.StructuralConfig{
+		c := sim.StructuralConfig{
 			Workload: w, CoreType: core, Cores: p.Cores, LLCMB: p.LLCMB,
 			Net: net, MemChannels: p.MemChannels,
 			WarmupCycles: p.WarmupCycles, MeasureCycles: p.MeasureCycles,
 			Seed: p.Seed, L1MSHRs: p.L1MSHRs,
 		}
-		if _, err := cfg.Canonical(); err != nil {
+		if _, err := c.Canonical(); err != nil {
 			return "", nil, err
 		}
-		return "structural", exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
+		return "structural", c, nil
+	default:
+		return "", nil, fmt.Errorf("unknown kind %q (want sim or structural)", p.Kind)
+	}
+}
+
+// point resolves the symbolic request into a typed engine point keyed
+// by the configuration's canonical fingerprint. The payload makes the
+// point routable: a coordinator daemon re-shards ad-hoc sweep points to
+// the replicas owning them.
+func (p SweepPoint) point() (kind string, _ exp.Point[any], err error) {
+	kind, c, err := p.config()
+	if err != nil {
+		return "", nil, err
+	}
+	switch cfg := c.(type) {
+	case sim.Config:
+		return kind, exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
+			return sim.Run(cfg)
+		}}, nil
+	case sim.StructuralConfig:
+		return kind, exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
 			return sim.RunStructural(cfg)
 		}}, nil
 	default:
-		return "", nil, fmt.Errorf("unknown kind %q (want sim or structural)", p.Kind)
+		return "", nil, fmt.Errorf("unsupported config type %T", c)
 	}
 }
 

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"scaleout/internal/noc"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// Golden batch-equivalence test: RunStructuralBatch must return exactly
+// what per-point RunStructural returns, in input order, across a batch
+// that mixes machine shapes and repeats a configuration — the grouping,
+// chunking, and in-place resets must be invisible in the results.
+func TestStructuralBatchMatchesIndividual(t *testing.T) {
+	ws := workload.Suite()
+	cfgs := []StructuralConfig{
+		{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4},
+		{Workload: ws[1], CoreType: tech.OoO, Cores: 16, LLCMB: 4}, // same shape, different workload
+		{Workload: ws[0], CoreType: tech.OoO, Cores: 8, LLCMB: 2,
+			Net: noc.New(noc.Mesh, 8)}, // different shape
+		{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4}, // repeat of [0]
+		{Workload: ws[2], CoreType: tech.OoO, Cores: 16, LLCMB: 4, Seed: 7},
+	}
+	got, err := RunStructuralBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cfgs) {
+		t.Fatalf("batch returned %d results for %d configs", len(got), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := RunStructural(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("point %d: batch %+v != individual %+v", i, got[i], want)
+		}
+	}
+}
+
+// An already-cancelled context aborts the batch instead of running it.
+func TestStructuralBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ws := workload.Suite()
+	_, err := RunStructuralBatchContext(ctx, []StructuralConfig{
+		{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4},
+	})
+	if err == nil {
+		t.Fatal("cancelled batch returned no error")
+	}
+}
+
+// A config that fails canonicalization fails the whole batch up front —
+// no partial results.
+func TestStructuralBatchBadConfig(t *testing.T) {
+	ws := workload.Suite()
+	_, err := RunStructuralBatch([]StructuralConfig{
+		{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4},
+		{Workload: ws[0], CoreType: tech.OoO, Cores: -1, LLCMB: 4},
+	})
+	if err == nil {
+		t.Fatal("batch with invalid config returned no error")
+	}
+}
+
+// An empty batch is a no-op.
+func TestStructuralBatchEmpty(t *testing.T) {
+	got, err := RunStructuralBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}

@@ -77,6 +77,15 @@ type Result struct {
 	AvgLLCLatency   float64 `json:"avg_llc_latency"`  // average end-to-end LLC hit latency, cycles
 	OffChipGBs      float64 `json:"off_chip_gbs"`     // average off-chip bandwidth used
 	DirectoryBlocks int     `json:"directory_blocks"` // blocks tracked by the coherence directory
+
+	// Source tags how the result was produced. The simulators leave it
+	// empty; the tiered evaluator (internal/tier) sets "surrogate" on
+	// results it answered from the analytic model in fast mode, so a
+	// caller — or a downstream reader of the sweep API — can always tell
+	// a certified approximation from a measured simulation. Exact-tier
+	// results are genuine simulator output and keep the empty tag, which
+	// also keeps their wire form byte-identical to a direct run.
+	Source string `json:"source,omitempty"`
 }
 
 // MissRatio returns LLC misses over accesses.

@@ -1,0 +1,214 @@
+package tier
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"scaleout/internal/analytic"
+	"scaleout/internal/exp"
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// Options parameterizes a calibration run. The grid axes sample the
+// (workload, core count, LLC, NoC) space; every grid point runs on both
+// simulators and both surrogates, contributing an error sample to its
+// region and a result to the anchor store.
+type Options struct {
+	// Workloads defaults to the full calibrated suite.
+	Workloads []workload.Workload
+	// Cores defaults to {16, 32, 64}; LLCMB to {2, 4, 8}; Nets to
+	// {crossbar, mesh}.
+	Cores []int
+	LLCMB []float64
+	Nets  []noc.Kind
+
+	// Granularity selects the region partition (RegionKey); Safety the
+	// band margin. Zero values take the package defaults.
+	Granularity int
+	Safety      float64
+
+	// Workers sizes the calibration engine's pool (0 = GOMAXPROCS).
+	Workers int
+
+	// Suites, when set, runs under a recording engine after the grid:
+	// every sim/structural point it evaluates (through the experiment
+	// layer) is recorded as an anchor and an error sample. Pass a
+	// closure over figures.RunAllContext to anchor the entire figure
+	// suite — the recording costs one full regeneration, and afterwards
+	// exact-tier regeneration serves those points without simulating.
+	Suites func(ctx context.Context) error
+}
+
+func (o *Options) defaults() {
+	if len(o.Workloads) == 0 {
+		o.Workloads = workload.Suite()
+	}
+	if len(o.Cores) == 0 {
+		o.Cores = []int{16, 32, 64}
+	}
+	if len(o.LLCMB) == 0 {
+		o.LLCMB = []float64{2, 4, 8}
+	}
+	if len(o.Nets) == 0 {
+		o.Nets = []noc.Kind{noc.Crossbar, noc.Mesh}
+	}
+	if o.Granularity <= 0 {
+		o.Granularity = DefaultGranularity
+	}
+	if o.Safety <= 0 {
+		o.Safety = DefaultSafety
+	}
+}
+
+// recorded is one calibration observation: a canonical configuration
+// and the genuine simulator result computed for it.
+type recorded struct {
+	key string
+	cfg any // sim.Config or sim.StructuralConfig, as routed
+	val any
+}
+
+// Calibrate runs the error-bounding harness: the grid (and optional
+// recorded suites) on a parallel, memoizing engine, both tiers per
+// point, folded into the per-region error table plus the anchor store.
+// The run itself pays full simulator cost; everything after it rides on
+// the result.
+func Calibrate(ctx context.Context, opts Options) (*Calibration, error) {
+	opts.defaults()
+
+	// The recording engine: a Route observes every sim/structural point
+	// (the experiment layer offers routable payloads on each memo miss),
+	// computes it locally under a worker-sized semaphore, and records
+	// the (key, config, result) triple. Single-flight memoization means
+	// each distinct key is recorded exactly once.
+	eng := exp.New(opts.Workers)
+	var mu sync.Mutex
+	var recs []recorded
+	sem := make(chan struct{}, eng.Workers())
+	eng.SetRoute(func(rctx context.Context, key string, payload any) (any, bool, error) {
+		switch payload.(type) {
+		case sim.Config, sim.StructuralConfig:
+		default:
+			return nil, false, nil
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-rctx.Done():
+			return nil, true, rctx.Err()
+		}
+		defer func() { <-sem }()
+		var val any
+		var err error
+		switch cfg := payload.(type) {
+		case sim.Config:
+			val, err = sim.Run(cfg)
+		case sim.StructuralConfig:
+			val, err = sim.RunStructural(cfg)
+		}
+		if err != nil {
+			return nil, true, err
+		}
+		mu.Lock()
+		recs = append(recs, recorded{key: key, cfg: payload, val: val})
+		mu.Unlock()
+		return val, true, nil
+	})
+
+	// Never calibrate through an inherited tier: the observations must
+	// be the simulators' own.
+	rctx := exp.WithTier(exp.WithEngine(ctx, eng), nil)
+
+	var simCfgs []sim.Config
+	var structCfgs []sim.StructuralConfig
+	for _, w := range opts.Workloads {
+		for _, cores := range opts.Cores {
+			for _, llc := range opts.LLCMB {
+				for _, kind := range opts.Nets {
+					net := noc.New(kind, cores)
+					simCfgs = append(simCfgs, sim.Config{
+						Workload: w, CoreType: tech.OoO, Cores: cores, LLCMB: llc, Net: net,
+					})
+					structCfgs = append(structCfgs, sim.StructuralConfig{
+						Workload: w, CoreType: tech.OoO, Cores: cores, LLCMB: llc, Net: net,
+					})
+				}
+			}
+		}
+	}
+	if _, err := exp.Sims(rctx, simCfgs); err != nil {
+		return nil, fmt.Errorf("tier: calibration grid (sim): %w", err)
+	}
+	if _, err := exp.Structurals(rctx, structCfgs); err != nil {
+		return nil, fmt.Errorf("tier: calibration grid (structural): %w", err)
+	}
+	if opts.Suites != nil {
+		if err := opts.Suites(rctx); err != nil {
+			return nil, fmt.Errorf("tier: calibration suites: %w", err)
+		}
+	}
+
+	// Fold the observations into the region table and anchor store.
+	type acc struct {
+		samples int
+		maxErr  float64
+		sumErr  float64
+	}
+	regions := map[string]*acc{}
+	sample := func(regionKey string, predicted, actual float64) {
+		a := regions[regionKey]
+		if a == nil {
+			a = &acc{}
+			regions[regionKey] = a
+		}
+		relErr := math.Inf(1)
+		if actual != 0 {
+			relErr = math.Abs(predicted-actual) / math.Abs(actual)
+		}
+		a.samples++
+		a.sumErr += relErr
+		if relErr > a.maxErr {
+			a.maxErr = relErr
+		}
+	}
+
+	cal := &Calibration{Granularity: opts.Granularity, Safety: opts.Safety}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, r := range recs {
+		switch cfg := r.cfg.(type) {
+		case sim.Config:
+			cc, err := cfg.Canonical()
+			if err != nil {
+				continue
+			}
+			est := analytic.Surrogate(simSpec(cc))
+			res := r.val.(sim.Result)
+			sample(simRegionKey(opts.Granularity, cc), est.AppIPC, res.AppIPC)
+			cal.SimAnchors = append(cal.SimAnchors, SimAnchor{Key: r.key, Result: res})
+		case sim.StructuralConfig:
+			cc, err := cfg.Canonical()
+			if err != nil {
+				continue
+			}
+			est := analytic.Surrogate(structuralSpec(cc))
+			res := r.val.(sim.StructuralResult)
+			sample(structuralRegionKey(opts.Granularity, cc), est.AppIPC, res.AppIPC)
+			cal.StructuralAnchors = append(cal.StructuralAnchors, StructuralAnchor{Key: r.key, Result: res})
+		}
+	}
+	for key, a := range regions {
+		cal.Regions = append(cal.Regions, Region{
+			Key:        key,
+			Samples:    a.samples,
+			MaxRelErr:  a.maxErr,
+			MeanRelErr: a.sumErr / float64(a.samples),
+		})
+	}
+	cal.normalize()
+	return cal, nil
+}

@@ -1,0 +1,121 @@
+package tier
+
+import "math"
+
+// Decision describes the boundary a sweep's answers feed into, so the
+// evaluator knows which points are safe to answer from the surrogate:
+// a point whose true value could fall on either side of the boundary —
+// its surrogate score lands within its error band of it — must
+// escalate to the simulator, while interior points cannot change the
+// decision no matter where in the band their true value lies.
+//
+// Escalate receives each point's surrogate score and its certified
+// band half-width (math.Inf(1) for points in uncertified regions) and
+// reports, per point, whether the boundary is within reach of the
+// band. Implementations must be conservative: when a tie or an exactly-
+// on-boundary score makes the answer ambiguous, escalate.
+type Decision interface {
+	// Escalate reports, for each point, whether its score is within its
+	// band of the decision boundary.
+	Escalate(scores, bands []float64) []bool
+}
+
+// Threshold escalates points whose score could cross a caller-supplied
+// cutoff value (e.g. "designs above 10 aggregate IPC"): point i
+// escalates iff |scores[i] − Value| <= bands[i]. A point exactly on the
+// threshold escalates even with a zero-width band.
+type Threshold struct {
+	// Value is the cutoff the sweep's answers are compared against.
+	Value float64
+}
+
+// Escalate implements Decision.
+func (t Threshold) Escalate(scores, bands []float64) []bool {
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = math.Abs(s-t.Value) <= bands[i] || math.IsInf(bands[i], 1)
+	}
+	return out
+}
+
+// TopK escalates points whose rank relative to the k-th place is
+// ambiguous — the per-figure "top-k rank edge". Using each point's
+// interval [score−band, score+band]: a point certainly in the top K
+// (fewer than K others can even tie its worst case) or certainly out
+// (at least K others beat its best case outright) is interior;
+// everything else escalates. Ties at the rank edge escalate.
+type TopK struct {
+	// K is how many top-ranked points the caller will act on.
+	K int
+}
+
+// Escalate implements Decision.
+func (t TopK) Escalate(scores, bands []float64) []bool {
+	n := len(scores)
+	out := make([]bool, n)
+	if t.K <= 0 {
+		return out // top-0: no rank edge, nothing escalates
+	}
+	if t.K >= n {
+		return out // everything is in the top K; no edge to resolve
+	}
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i := range scores {
+		lo[i] = scores[i] - bands[i]
+		hi[i] = scores[i] + bands[i]
+	}
+	for i := 0; i < n; i++ {
+		beatsBest := 0 // others strictly above even in i's best case
+		canTie := 0    // others that could reach i's worst case
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if lo[j] > hi[i] {
+				beatsBest++
+			}
+			if hi[j] >= lo[i] {
+				canTie++
+			}
+		}
+		certainlyOut := beatsBest >= t.K
+		certainlyIn := canTie < t.K
+		out[i] = !certainlyOut && !certainlyIn
+	}
+	return out
+}
+
+// Crossover escalates points where two curves could cross — the
+// figure-curve crossover boundary. Scores are one curve's points;
+// Against holds the other curve's scores at the same sweep positions
+// (with AgainstBands their band half-widths, all zero when the other
+// curve is already simulator-measured). Point i escalates iff the two
+// intervals overlap: |scores[i] − Against[i]| <= bands[i] +
+// AgainstBands[i].
+type Crossover struct {
+	// Against is the other curve's score at each sweep position; must
+	// be the same length as the evaluated batch.
+	Against []float64
+	// AgainstBands is the other curve's band half-widths; nil means
+	// zero (the other curve is exact).
+	AgainstBands []float64
+}
+
+// Escalate implements Decision.
+func (c Crossover) Escalate(scores, bands []float64) []bool {
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		if i >= len(c.Against) {
+			out[i] = true // no opposing point: cannot rule a crossing out
+			continue
+		}
+		ab := 0.0
+		if i < len(c.AgainstBands) {
+			ab = c.AgainstBands[i]
+		}
+		out[i] = math.Abs(s-c.Against[i]) <= bands[i]+ab ||
+			math.IsInf(bands[i], 1) || math.IsInf(ab, 1)
+	}
+	return out
+}

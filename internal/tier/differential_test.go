@@ -1,0 +1,122 @@
+package tier
+
+import (
+	"context"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/figures"
+	"scaleout/internal/noc"
+	"scaleout/internal/sim"
+	"scaleout/internal/tech"
+	"scaleout/internal/workload"
+)
+
+// The certification headline: figure suites regenerated through the
+// exact tier — against a calibration that recorded them, saved to disk,
+// and loaded back — are byte-identical to direct simulation. The JSON
+// round trip is part of the claim: anchors must survive serialization
+// bit-exactly.
+func TestTieredExactFiguresByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates figure suites twice")
+	}
+	suites := []string{"ext.structural", "ablate.mshr", "ablate.banks"}
+
+	render := func(ctx context.Context) string {
+		var b strings.Builder
+		for _, id := range suites {
+			tb, err := figures.RunContext(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.WriteString(tb.String())
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+
+	direct := render(exp.WithEngine(context.Background(), exp.New(0)))
+
+	cal, err := Calibrate(context.Background(), Options{
+		// A minimal grid plus the three suites under the recorder.
+		Cores: []int{16}, LLCMB: []float64{4}, Nets: []noc.Kind{noc.Crossbar},
+		Suites: func(ctx context.Context) error {
+			for _, id := range suites {
+				if _, err := figures.RunContext(ctx, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := cal.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ev := New(loaded, Exact)
+	eng := exp.New(0)
+	tiered := render(exp.WithTier(exp.WithEngine(context.Background(), eng), ev))
+	if tiered != direct {
+		t.Fatal("tiered exact regeneration differs from direct simulation")
+	}
+	st := ev.Stats()
+	if st.AnchorHits == 0 {
+		t.Errorf("tiered regeneration hit no anchors: %+v", st)
+	}
+	if es := eng.Stats(); es.Misses != 0 {
+		t.Errorf("tiered regeneration simulated %d points despite full anchor coverage", es.Misses)
+	}
+}
+
+// Randomized differential: across a seeded random scatter of structural
+// configurations, the uncalibrated exact tier returns exactly what the
+// structural simulator returns.
+func TestTieredExactRandomizedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ws := workload.Suite()
+	coreCounts := []int{4, 8, 16, 32}
+	llcs := []float64{1, 2, 4, 8}
+	nets := []noc.Kind{noc.Crossbar, noc.Mesh}
+
+	var cfgs []sim.StructuralConfig
+	for i := 0; i < 12; i++ {
+		cores := coreCounts[rng.Intn(len(coreCounts))]
+		cfgs = append(cfgs, sim.StructuralConfig{
+			Workload: ws[rng.Intn(len(ws))],
+			CoreType: tech.OoO,
+			Cores:    cores,
+			LLCMB:    llcs[rng.Intn(len(llcs))],
+			Net:      noc.New(nets[rng.Intn(len(nets))], cores),
+			Seed:     uint64(rng.Intn(3) + 1),
+		})
+	}
+
+	ev := New(nil, Exact)
+	ctx := exp.WithEngine(context.Background(), exp.New(0))
+	got, err := ev.Structurals(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want, err := sim.RunStructural(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("config %d (%+v): tiered %+v != direct %+v", i, cfg, got[i], want)
+		}
+	}
+}
