@@ -36,6 +36,7 @@ import (
 
 	"scaleout/internal/figures"
 	"scaleout/internal/noc"
+	"scaleout/internal/store"
 	"scaleout/internal/tier"
 )
 
@@ -48,10 +49,12 @@ func main() {
 	netsList := flag.String("nets", "crossbar,mesh", "comma-separated interconnects for the calibration grid (with -out)")
 	withFigures := flag.Bool("figures", true, "record the full figure suite as anchors (with -out)")
 	parallel := flag.Int("parallel", 0, "engine worker-pool size (0 = GOMAXPROCS)")
+	useStore := flag.Bool("store", false, "round-trip anchors through the persistent result store in -store-dir: stored points anchor without re-simulating, simulated points are written through (with -out)")
+	storeDir := flag.String("store-dir", store.DefaultDir, "persistent result store directory (with -store)")
 	flag.Parse()
 
 	if *out != "" {
-		if err := runHarness(*out, *regions, *safety, *coresList, *llcList, *netsList, *withFigures, *parallel); err != nil {
+		if err := runHarness(*out, *regions, *safety, *coresList, *llcList, *netsList, *withFigures, *parallel, *useStore, *storeDir); err != nil {
 			fail(err)
 		}
 		return
@@ -63,7 +66,7 @@ func main() {
 
 // runHarness is the error-bounding calibration: grid + optional figure
 // suite through tier.Calibrate, summary on stdout, JSON to out.
-func runHarness(out string, regions int, safety float64, coresList, llcList, netsList string, withFigures bool, parallel int) error {
+func runHarness(out string, regions int, safety float64, coresList, llcList, netsList string, withFigures bool, parallel int, useStore bool, storeDir string) error {
 	cores, err := parseInts(coresList)
 	if err != nil {
 		return fmt.Errorf("-cores: %w", err)
@@ -83,6 +86,14 @@ func runHarness(out string, regions int, safety float64, coresList, llcList, net
 		Granularity: regions,
 		Safety:      safety,
 		Workers:     parallel,
+	}
+	if useStore {
+		st, err := store.Open(storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		opts.Store = st
 	}
 	if withFigures {
 		opts.Suites = func(ctx context.Context) error {

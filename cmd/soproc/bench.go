@@ -14,6 +14,7 @@ import (
 	"scaleout/internal/figures"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
+	"scaleout/internal/store"
 	"scaleout/internal/tech"
 	"scaleout/internal/tier"
 	"scaleout/internal/workload"
@@ -31,15 +32,18 @@ import (
 // tiered-vs-untiered: EventNs is the tiered evaluation, LockstepNs the
 // full simulation of the same work, Speedup their ratio; they
 // additionally record the analytic surrogate's scoring cost and the
-// fraction of points that escalated to the structural simulator.
+// fraction of points that escalated to the structural simulator. The
+// store-warm points (runall_store_warm, structural16_store_warm) reuse
+// the columns as disk-vs-simulated: EventNs is the same work served
+// from a warm persistent result store, LockstepNs its simulated cost.
 type benchPoint struct {
 	Name       string  `json:"name"`
 	EventNs    int64   `json:"event_ns_per_point"`
 	LockstepNs int64   `json:"lockstep_ns_per_point"`
 	Speedup    float64 `json:"speedup"`
-	// SurrogateNs and EscalationRate are zero for non-tiered points.
-	SurrogateNs    int64   `json:"surrogate_ns_per_point"`
-	EscalationRate float64 `json:"escalation_rate"`
+	// SurrogateNs and EscalationRate are omitted for non-tiered points.
+	SurrogateNs    int64   `json:"surrogate_ns_per_point,omitempty"`
+	EscalationRate float64 `json:"escalation_rate,omitempty"`
 }
 
 // benchReport is the BENCH_kernel.json schema.
@@ -161,6 +165,7 @@ func runBench(path string, iters, workers int, cpuProfile string) error {
 		{"structural64", sim.StructuralConfig{Workload: ws[0], CoreType: tech.OoO, Cores: 64, LLCMB: 8,
 			Net: noc.New(noc.Mesh, 64), MemChannels: 4}},
 	}
+	var structural16Ns int64
 	for _, pt := range structPoints {
 		scfg := pt.cfg
 		p, err := measure(pt.name, func() error {
@@ -169,6 +174,9 @@ func runBench(path string, iters, workers int, cpuProfile string) error {
 		})
 		if err != nil {
 			return err
+		}
+		if pt.name == "structural16" {
+			structural16Ns = p.EventNs
 		}
 		report.Points = append(report.Points, p)
 	}
@@ -190,6 +198,12 @@ func runBench(path string, iters, workers int, cpuProfile string) error {
 		return err
 	}
 	report.Points = append(report.Points, tiered...)
+
+	stored, err := benchStore(iters, workers, p.EventNs, structural16Ns)
+	if err != nil {
+		return err
+	}
+	report.Points = append(report.Points, stored...)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -318,5 +332,68 @@ func benchTiered(iters, workers int, runallNs int64) ([]benchPoint, error) {
 		Speedup:        float64(runallNs) / float64(tiered.Nanoseconds()),
 		EscalationRate: evExact.Stats().EscalationRate,
 	})
+	return points, nil
+}
+
+// benchStore measures disk-warm serving from the persistent result
+// store (internal/store): one unmeasured cold pass populates a store in
+// a temporary directory, then each measured run drives the same work
+// through a fresh engine with the store installed, so every point is a
+// disk probe plus a JSON decode instead of a simulation. EventNs is the
+// warm cost; LockstepNs the simulated cost of the same work measured
+// earlier in the harness (runall and structural16).
+func benchStore(iters, workers int, runallNs, structural16Ns int64) ([]benchPoint, error) {
+	dir, err := os.MkdirTemp("", "sostore-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	withStore := func() context.Context {
+		eng := exp.New(workers)
+		eng.SetStore(st)
+		return exp.WithEngine(context.Background(), eng)
+	}
+
+	var points []benchPoint
+	emit := func(name string, warm time.Duration, coldNs int64) {
+		p := benchPoint{
+			Name:       name,
+			EventNs:    warm.Nanoseconds(),
+			LockstepNs: coldNs,
+			Speedup:    float64(coldNs) / float64(warm.Nanoseconds()),
+		}
+		fmt.Printf("%-24s warm %12s   cold %12s   speedup %.2fx\n",
+			p.Name, warm.Round(time.Microsecond), time.Duration(coldNs).Round(time.Microsecond), p.Speedup)
+		points = append(points, p)
+	}
+
+	// timeRuns's unmeasured warmup call doubles as the cold populating
+	// pass: its simulations write through to the store, so the measured
+	// iterations (each on a fresh engine) serve entirely from disk.
+	warm, err := timeRuns(iters, func() error {
+		_, err := figures.RunAllContext(withStore())
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runall_store_warm: %w", err)
+	}
+	emit("runall_store_warm", warm, runallNs)
+
+	ws := workload.Suite()
+	scfg := sim.StructuralConfig{Workload: ws[0], CoreType: tech.OoO, Cores: 16, LLCMB: 4}
+	warm, err = timeRuns(iters, func() error {
+		_, err := exp.Structurals(withStore(), []sim.StructuralConfig{scfg})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("structural16_store_warm: %w", err)
+	}
+	emit("structural16_store_warm", warm, structural16Ns)
 	return points, nil
 }

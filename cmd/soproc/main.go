@@ -14,6 +14,12 @@
 //	                             cluster by configuration fingerprint
 //	                             (internal/cluster); output is
 //	                             byte-identical to a local run
+//	soproc -all -store           persist every simulated result in the
+//	                             .sostore/ log; a second -store run
+//	                             serves entirely from disk (milliseconds,
+//	                             byte-identical). -store-dir relocates
+//	                             the log; -stats-json dumps the engine
+//	                             and store counters for scripting
 //	soproc -bench                time the kernels, write BENCH_kernel.json
 //	soproc -all -tier exact -calibration cal.json
 //	                             tiered regeneration: anchors recorded by
@@ -46,6 +52,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +62,7 @@ import (
 	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/figures"
+	"scaleout/internal/store"
 	"scaleout/internal/tier"
 )
 
@@ -69,6 +77,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated soprocd replicas (host:port) to shard simulator points across")
 	tierName := flag.String("tier", "off", "tiered evaluation: off | exact (anchor-served, byte-identical) | fast (surrogate for certified interior points)")
 	calPath := flag.String("calibration", "", "calibration.json from cmd/calibrate (with -tier)")
+	useStore := flag.Bool("store", false, "persist simulator results in -store-dir; a later run serves matching points from disk instead of re-simulating")
+	storeDir := flag.String("store-dir", store.DefaultDir, "persistent result store directory (with -store)")
+	statsJSON := flag.String("stats-json", "", "write engine and store statistics as JSON to this path after the run")
 	bench := flag.Bool("bench", false, "benchmark the simulation kernels and write a JSON report")
 	benchOut := flag.String("bench-out", "BENCH_kernel.json", "benchmark report path (with -bench)")
 	benchIters := flag.Int("bench-iters", 5, "measured iterations per benchmark point (with -bench)")
@@ -92,6 +103,15 @@ func main() {
 	}
 
 	eng := exp.New(*parallel)
+	var st *store.Store
+	if *useStore {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fail(err)
+		}
+		defer st.Close()
+		eng.SetStore(st)
+	}
 	var coord *cluster.Coordinator
 	if *peers != "" {
 		var err error
@@ -155,10 +175,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, eng, st); err != nil {
+			fail(err)
+		}
+	}
 	if *verbose {
-		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "soproc: %d workers, %d points simulated, %d served from memo, %s\n",
-			eng.Workers(), st.Misses, st.Hits, time.Since(start).Round(time.Millisecond))
+		es := eng.Stats()
+		fmt.Fprintf(os.Stderr, "soproc: %d workers, %d points simulated, %d served from memo, %d from store, %s\n",
+			eng.Workers(), es.Misses, es.Hits, es.StoreHits, time.Since(start).Round(time.Millisecond))
+		if st != nil {
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "soproc: store: %d entries (%d loaded), %d disk hits, %d appends, %d bytes\n",
+				ss.Entries, ss.Loaded, ss.DiskHits, ss.Appends, ss.Bytes)
+		}
 		if ev != nil {
 			ts := ev.Stats()
 			fmt.Fprintf(os.Stderr, "soproc: tier: %d scored, %d anchor hits, %d surrogate, %d escalated (rate %.3f)\n",
@@ -173,6 +203,36 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeStatsJSON dumps the run's engine (and, with -store, store)
+// counters as JSON — the machine-readable form CI asserts on: a
+// disk-warm run must show engine.misses == 0 while store.disk_hits
+// covers every simulator point.
+func writeStatsJSON(path string, eng *exp.Engine, st *store.Store) error {
+	es := eng.Stats()
+	var dump struct {
+		Engine struct {
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			StoreHits int64 `json:"store_hits"`
+			Remote    int64 `json:"remote"`
+		} `json:"engine"`
+		Store *store.Stats `json:"store,omitempty"`
+	}
+	dump.Engine.Hits = es.Hits
+	dump.Engine.Misses = es.Misses
+	dump.Engine.StoreHits = es.StoreHits
+	dump.Engine.Remote = es.Remote
+	if st != nil {
+		ss := st.Stats()
+		dump.Store = &ss
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fail(err error) {

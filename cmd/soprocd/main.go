@@ -16,6 +16,12 @@
 //	                                 run: anchors serve matching points
 //	                                 exactly, certified regions enable
 //	                                 tier:"fast" sweep requests
+//	soprocd -store                   persist results in the .sostore/ log
+//	                                 (-store-dir relocates it): a restart
+//	                                 re-warms its shard from disk before
+//	                                 taking traffic, the graceful drain
+//	                                 flushes, and /statsz grows a "store"
+//	                                 section
 //
 // Endpoints (see internal/serve):
 //
@@ -61,6 +67,7 @@ import (
 	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/serve"
+	"scaleout/internal/store"
 	"scaleout/internal/tier"
 )
 
@@ -71,10 +78,23 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight requests")
 	peers := flag.String("peers", "", "comma-separated soprocd replicas (host:port) to shard sweep points across; empty = single node")
 	calPath := flag.String("calibration", "", "calibration.json from cmd/calibrate: anchors plus certified error regions for tiered evaluation")
+	useStore := flag.Bool("store", false, "persist simulator results in -store-dir; a restarted daemon re-warms from the log before taking traffic")
+	storeDir := flag.String("store-dir", store.DefaultDir, "persistent result store directory (with -store)")
 	flag.Parse()
 
 	eng := exp.NewBounded(*parallel, *memoCap)
 	srv := serve.New(eng)
+	var st *store.Store
+	if *useStore {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("soprocd: %v", err)
+		}
+		eng.SetStore(st)
+		srv.SetStoreStats(func() any { return st.Stats() })
+		log.Printf("soprocd: store %s: %d results re-warmed from disk", *storeDir, st.Len())
+	}
 	if *calPath != "" {
 		cal, err := tier.Load(*calPath)
 		if err != nil {
@@ -130,7 +150,19 @@ func main() {
 		log.Fatalf("soprocd: %v", err)
 	}
 	<-done
-	st := eng.Stats()
-	log.Printf("soprocd: served %d memo hits, %d computations, %d evictions",
-		st.Hits, st.Misses, st.Evictions)
+	if st != nil {
+		// The drain window has passed: every result computed before
+		// shutdown is in the log; sync it so the restart's warm start
+		// sees all of them.
+		ss := st.Stats()
+		if err := st.Close(); err != nil {
+			log.Printf("soprocd: store: %v", err)
+		} else {
+			log.Printf("soprocd: store flushed: %d entries (%d appended this run), %d bytes",
+				ss.Entries, ss.Appends, ss.Bytes)
+		}
+	}
+	es := eng.Stats()
+	log.Printf("soprocd: served %d memo hits, %d computations, %d from store, %d evictions",
+		es.Hits, es.Misses, es.StoreHits, es.Evictions)
 }

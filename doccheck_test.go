@@ -21,6 +21,7 @@ var docAuditDirs = []string{
 	"internal/exp",
 	"internal/exp/engine",
 	"internal/sim",
+	"internal/store",
 	"internal/tier",
 }
 

@@ -41,6 +41,11 @@ type Engine struct {
 	// work carrying a routable payload; see Route.
 	route atomic.Pointer[Route]
 
+	// store, when set (SetStore), is the persistent second memo tier:
+	// probed on every memo miss before the work is routed or computed,
+	// and written through on every successful computation; see Store.
+	store atomic.Pointer[Store]
+
 	mu       sync.Mutex
 	memo     map[string]*memoEntry
 	capacity int // max resident memo entries; 0 = unbounded
@@ -54,6 +59,7 @@ type Engine struct {
 	misses    atomic.Int64
 	evictions atomic.Int64
 	remote    atomic.Int64 // work resolved by the installed Route
+	storeHits atomic.Int64 // memo misses answered by the installed Store
 	inflight  atomic.Int64 // computations currently executing
 }
 
@@ -113,6 +119,65 @@ func RoutingDisabled(ctx context.Context) bool { return routingDisabled(ctx) }
 // HasRoute reports whether a router is installed (SetRoute).
 func (e *Engine) HasRoute() bool { return e.route.Load() != nil }
 
+// Store is the engine's optional persistent second memo tier
+// (internal/store implements it over an append-only log). Load returns
+// the stored value for a memo key; Save records a freshly computed
+// (key, value) pair and may decline values it cannot represent. Both
+// must be safe for concurrent use.
+//
+// With a store installed (SetStore) the memo hierarchy becomes
+// memory → disk → compute: a memo miss probes Load before the work is
+// routed or computed — a hit completes the key's single-flight entry
+// without holding a worker slot and counts as a store hit, never a miss,
+// so "points simulated" stays truthful — and every successful
+// computation (local, routed, or seeded) is written through with Save.
+// Like a Route, a Store can never change a result, only whether it is
+// recomputed.
+type Store interface {
+	// Load returns the stored value for key, if present.
+	Load(key string) (val any, ok bool)
+	// Save records a computed value under key. Implementations must
+	// tolerate values of any type, ignoring those they cannot persist.
+	Save(key string, val any)
+}
+
+// SetStore installs s as the engine's persistent result tier, probed on
+// every memo miss and written through on every successful computation.
+// Install it before the engine starts serving work; a nil s removes it.
+func (e *Engine) SetStore(s Store) {
+	if s == nil {
+		e.store.Store(nil)
+		return
+	}
+	e.store.Store(&s)
+}
+
+// HasStore reports whether a persistent result tier is installed
+// (SetStore).
+func (e *Engine) HasStore() bool { return e.store.Load() != nil }
+
+// storeLoad probes the installed store for key; ok is false without a
+// store. A hit counts toward Stats.StoreHits.
+func (e *Engine) storeLoad(key string) (any, bool) {
+	sp := e.store.Load()
+	if sp == nil {
+		return nil, false
+	}
+	val, ok := (*sp).Load(key)
+	if ok {
+		e.storeHits.Add(1)
+	}
+	return val, ok
+}
+
+// storeSave writes a successful computation through to the installed
+// store, if any.
+func (e *Engine) storeSave(key string, val any) {
+	if sp := e.store.Load(); sp != nil {
+		(*sp).Save(key, val)
+	}
+}
+
 // memoEntry is the memo slot for one key. done is closed once val/err
 // are final, so concurrent requests for an in-flight key wait instead of
 // recomputing. refs (guarded by Engine.mu) counts the owner computing
@@ -171,6 +236,10 @@ type Stats struct {
 	// cluster replica rather than the local pool). Always 0 without a
 	// router.
 	Remote int64
+	// StoreHits counts memo misses answered by the installed Store
+	// (served from disk rather than simulated). Always 0 without a
+	// store.
+	StoreHits int64
 	// InFlight is the number of computations executing right now.
 	InFlight int64
 	// MemoSize is the number of resident memo entries; at most
@@ -190,6 +259,7 @@ func (e *Engine) Stats() Stats {
 		Misses:       e.misses.Load(),
 		Evictions:    e.evictions.Load(),
 		Remote:       e.remote.Load(),
+		StoreHits:    e.storeHits.Load(),
 		InFlight:     e.inflight.Load(),
 		MemoSize:     size,
 		MemoCapacity: e.capacity,
@@ -301,7 +371,15 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 		break
 	}
 
-	// Offer the work to the router first: routed work waits on a
+	// Probe the persistent store before routing or computing: a disk
+	// hit completes the owned single-flight entry immediately, without
+	// holding a worker slot or a network round-trip, and counts as a
+	// store hit rather than a miss — the point was never simulated.
+	if val, ok := e.storeLoad(key); ok {
+		return e.finish(ent, key, val, nil)
+	}
+
+	// Offer the work to the router next: routed work waits on a
 	// replica, not a local worker slot, so it skips acquire entirely.
 	// The entry is already owned, so concurrent requests for the key
 	// wait on this one routed flight.
@@ -310,6 +388,7 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 			if val, handled, rerr := (*rp)(ctx, key, payload); handled {
 				if rerr == nil {
 					e.remote.Add(1)
+					e.storeSave(key, val)
 				}
 				return e.finish(ent, key, val, rerr)
 			}
@@ -334,6 +413,9 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 	val, cerr := compute()
 	e.inflight.Add(-1)
 	e.release()
+	if cerr == nil {
+		e.storeSave(key, val)
+	}
 	return e.finish(ent, key, val, cerr)
 }
 
@@ -449,7 +531,20 @@ func (e *Engine) Cached(key string) (any, bool) {
 	ent, ok := e.memo[key]
 	if !ok {
 		e.mu.Unlock()
-		return nil, false
+		// The memory tier has nothing; probe the persistent store. A
+		// disk hit installs as a resident completed entry — no miss is
+		// counted, the point was never simulated — so later Do calls
+		// for the key are memo hits.
+		val, found := e.storeLoad(key)
+		if !found {
+			return nil, false
+		}
+		e.mu.Lock()
+		if _, raced := e.memo[key]; !raced {
+			e.installLocked(key, val)
+		}
+		e.mu.Unlock()
+		return val, true
 	}
 	select {
 	case <-ent.done:
@@ -484,24 +579,35 @@ func (e *Engine) Seed(key string, val any) bool {
 	if key == "" {
 		return false
 	}
-	closed := make(chan struct{})
-	close(closed)
-	ent := &memoEntry{key: key, done: closed, val: val}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.memo[key]; ok {
+		e.mu.Unlock()
 		return false
 	}
 	// A seeded insert is a computation entering the memo, exactly like a
 	// Do miss — count it as one, so "points simulated" stays truthful
 	// whichever path ran the simulator.
 	e.misses.Add(1)
+	e.installLocked(key, val)
+	e.mu.Unlock()
+	e.storeSave(key, val)
+	return true
+}
+
+// installLocked inserts a completed memo entry for key without touching
+// the miss counter — the shared tail of Seed (which counts its insert as
+// a miss, since the caller ran the simulator) and the disk-hit paths
+// (which must not: a stored result was computed in an earlier life).
+// The caller holds e.mu and has verified key is absent.
+func (e *Engine) installLocked(key string, val any) {
+	closed := make(chan struct{})
+	close(closed)
+	ent := &memoEntry{key: key, done: closed, val: val}
 	e.memo[key] = ent
 	if e.capacity > 0 {
 		e.lruPushFrontLocked(ent)
 		e.trimLocked()
 	}
-	return true
 }
 
 // IsCancellation reports whether err is a context cancellation or

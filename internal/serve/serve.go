@@ -77,7 +77,17 @@ type Server struct {
 	// clusterStats, if set (SetClusterStats), supplies the /statsz
 	// "cluster" section for a coordinator daemon.
 	clusterStats func() any
+
+	// storeStats, if set (SetStoreStats), supplies the /statsz "store"
+	// section for a daemon running with a persistent result store.
+	storeStats func() any
 }
+
+// SetStoreStats installs a snapshot hook whose value is reported as the
+// /statsz "store" section — soprocd -store wires store.Store.Stats
+// here. Call before serving; a nil hook (the default) omits the
+// section.
+func (s *Server) SetStoreStats(fn func() any) { s.storeStats = fn }
 
 // SetClusterStats installs a snapshot hook whose value is reported as
 // the /statsz "cluster" section — a coordinator daemon wires its
@@ -140,6 +150,9 @@ type MemoStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	// StoreHits counts memo misses answered by the persistent result
+	// store instead of the simulator; always 0 without -store.
+	StoreHits int64 `json:"store_hits,omitempty"`
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"` // 0 = unbounded
 }
@@ -157,8 +170,11 @@ type StatsResponse struct {
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	// Tier is the tiered evaluator's per-tier point counters and
 	// escalation rate (tier.Stats).
-	Tier    tier.Stats `json:"tier"`
-	Cluster any        `json:"cluster,omitempty"`
+	Tier tier.Stats `json:"tier"`
+	// Store is the persistent result store's counter snapshot
+	// (store.Stats); present only when the daemon runs with -store.
+	Store   any `json:"store,omitempty"`
+	Cluster any `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -171,12 +187,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 			Hits:      st.Hits,
 			Misses:    st.Misses,
 			Evictions: st.Evictions,
+			StoreHits: st.StoreHits,
 			Size:      st.MemoSize,
 			Capacity:  st.MemoCapacity,
 		},
 		Experiments:   len(s.known),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Tier:          s.tier.Stats(),
+	}
+	if s.storeStats != nil {
+		resp.Store = s.storeStats()
 	}
 	if s.clusterStats != nil {
 		resp.Cluster = s.clusterStats()

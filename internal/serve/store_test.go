@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/store"
+)
+
+// newTestServer2 serves a pre-configured Server (newTestServer builds
+// its own, which cannot carry a store-stats hook).
+func newTestServer2(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStoreRestartByteIdentity is the kill-and-restart contract of
+// soprocd -store, in process: a daemon serves the full experiment
+// suite into a persistent store, "dies" (engine and store discarded,
+// store closed as the graceful drain would), and a second daemon over
+// the same store directory must re-serve the suite byte-identically
+// without a single engine miss — every point re-warmed from disk.
+func TestStoreRestartByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite regeneration in -short mode")
+	}
+	dir := t.TempDir()
+
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1 := exp.NewBounded(2, 4096)
+	eng1.SetStore(st1)
+	ts1 := newTestServer(t, eng1)
+	status, body1 := get(t, ts1.URL+"/v1/exp/all?format=csv")
+	if status != http.StatusOK {
+		t.Fatalf("first run: status %d", status)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m := eng1.Stats().Misses; m == 0 {
+		t.Fatal("first run computed nothing; test proves nothing")
+	}
+
+	// The restart: fresh engine, fresh memo, same store directory.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st2.Close() })
+	if st2.Stats().Loaded == 0 {
+		t.Fatal("restarted store loaded nothing from disk")
+	}
+	eng2 := exp.NewBounded(2, 4096)
+	eng2.SetStore(st2)
+	srv2 := New(eng2)
+	srv2.SetStoreStats(func() any { return st2.Stats() })
+	ts2 := newTestServer2(t, srv2)
+	status, body2 := get(t, ts2.URL+"/v1/exp/all?format=csv")
+	if status != http.StatusOK {
+		t.Fatalf("restarted run: status %d", status)
+	}
+	if body1 != body2 {
+		t.Fatal("restarted daemon's /v1/exp/all differs from the first run")
+	}
+	es := eng2.Stats()
+	if es.Misses != 0 {
+		t.Fatalf("restarted daemon simulated %d points; want 0 (all from disk)", es.Misses)
+	}
+	if es.StoreHits == 0 {
+		t.Fatal("restarted daemon reports no store hits")
+	}
+
+	// /statsz must surface the re-warm: store.loaded > 0, memo
+	// store_hits > 0.
+	status, statsz := get(t, ts2.URL+"/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("statsz: status %d", status)
+	}
+	var resp struct {
+		Memo  MemoStats   `json:"memo"`
+		Store store.Stats `json:"store"`
+	}
+	if err := json.Unmarshal([]byte(statsz), &resp); err != nil {
+		t.Fatalf("statsz: %v\n%s", err, statsz)
+	}
+	if resp.Store.Loaded == 0 || resp.Store.DiskHits == 0 {
+		t.Fatalf("statsz store section: %+v (want loaded > 0, disk_hits > 0)", resp.Store)
+	}
+	if resp.Memo.StoreHits == 0 {
+		t.Fatalf("statsz memo.store_hits = 0, want > 0")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"scaleout/internal/analytic"
 	"scaleout/internal/exp"
+	"scaleout/internal/exp/engine"
 	"scaleout/internal/noc"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
@@ -34,6 +35,13 @@ type Options struct {
 
 	// Workers sizes the calibration engine's pool (0 = GOMAXPROCS).
 	Workers int
+
+	// Store, when set, round-trips the calibration through the
+	// persistent result store: grid and suite points already on disk
+	// are recorded as anchors without re-simulating, and every point
+	// the harness does simulate is written through, so later -store
+	// runs (and re-calibrations) serve them from disk.
+	Store engine.Store
 
 	// Suites, when set, runs under a recording engine after the grid:
 	// every sim/structural point it evaluates (through the experiment
@@ -96,6 +104,17 @@ func Calibrate(ctx context.Context, opts Options) (*Calibration, error) {
 		default:
 			return nil, false, nil
 		}
+		// A stored result is a genuine simulator result from an earlier
+		// life: record it as an anchor without paying for the simulator
+		// again — calibration anchors round-trip through the store.
+		if opts.Store != nil {
+			if val, ok := opts.Store.Load(key); ok {
+				mu.Lock()
+				recs = append(recs, recorded{key: key, cfg: payload, val: val})
+				mu.Unlock()
+				return val, true, nil
+			}
+		}
 		select {
 		case sem <- struct{}{}:
 		case <-rctx.Done():
@@ -112,6 +131,9 @@ func Calibrate(ctx context.Context, opts Options) (*Calibration, error) {
 		}
 		if err != nil {
 			return nil, true, err
+		}
+		if opts.Store != nil {
+			opts.Store.Save(key, val)
 		}
 		mu.Lock()
 		recs = append(recs, recorded{key: key, cfg: payload, val: val})

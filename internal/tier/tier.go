@@ -188,6 +188,36 @@ func (ev *Evaluator) band(regionKey string, score float64) float64 {
 	return r.MaxRelErr * ev.safety * math.Abs(score)
 }
 
+// certified reports whether the calibration certifies regionKey: its
+// points carry a finite escalation band and are eligible for surrogate
+// serving in fast mode.
+func (ev *Evaluator) certified(regionKey string) bool {
+	r, ok := ev.regions[regionKey]
+	return ok && r.Samples > 0 && r.MaxRelErr <= maxCertifiableRelErr
+}
+
+// fullEscalation reports whether every point of a batch must escalate
+// regardless of what the surrogate would say: no point matches an
+// anchor, and either the mode is exact (anchors are the only
+// non-simulator source) or no point falls in a certified region. When
+// it holds, per-point surrogate scoring is pure overhead — the batch
+// goes straight to batched simulation, so a tiered sweep the
+// calibration cannot serve (escalation rate 1.0) costs the same as
+// -tier exact instead of running slower than it. anchored and
+// certifiedAt report, per point index, an anchor match and a certified
+// region.
+func fullEscalation(mode Mode, n int, anchored, certifiedAt func(i int) bool) bool {
+	for i := 0; i < n; i++ {
+		if anchored(i) {
+			return false
+		}
+		if mode == Fast && certifiedAt(i) {
+			return false
+		}
+	}
+	return true
+}
+
 // simSpec maps a canonical statistical configuration onto the
 // surrogate's input.
 func simSpec(cc sim.Config) analytic.SurrogateSpec {
@@ -256,37 +286,56 @@ func (ev *Evaluator) SimsDecided(ctx context.Context, cfgs []sim.Config, d Decis
 	n := len(cfgs)
 	out := make([]sim.Result, n)
 	keys := make([]string, n)
-	scores := make([]float64, n)
-	bands := make([]float64, n)
-	ests := make([]analytic.Estimate, n)
+	ccs := make([]sim.Config, n)
 	for i, c := range cfgs {
 		cc, err := c.Canonical()
 		if err != nil {
 			return nil, nil, err
 		}
+		ccs[i] = cc
 		keys[i] = c.Key()
-		ests[i] = analytic.Surrogate(simSpec(cc))
-		scores[i] = ests[i].AppIPC
-		bands[i] = ev.band(simRegionKey(ev.granularity, cc), scores[i])
 	}
 	ev.scored.Add(int64(n))
-
-	boundary := boundarySet(d, scores, bands)
 	mode := modeFrom(ctx, ev.mode)
+
+	var boundary []bool
 	var escalate []int
-	for i := range cfgs {
-		if r, ok := ev.simAnchors[keys[i]]; ok {
-			out[i] = r
-			ev.anchorHits.Add(1)
-			continue
+	if fullEscalation(mode, n,
+		func(i int) bool { _, ok := ev.simAnchors[keys[i]]; return ok },
+		func(i int) bool { return ev.certified(simRegionKey(ev.granularity, ccs[i])) },
+	) {
+		// Nothing in the batch is servable below the simulator: skip
+		// surrogate scoring entirely and escalate everything.
+		boundary = make([]bool, n)
+		escalate = make([]int, n)
+		for i := range cfgs {
+			boundary[i] = true
+			escalate[i] = i
 		}
-		if mode == Fast && !boundary[i] && !math.IsInf(bands[i], 1) {
-			out[i] = surrogateSimResult(ests[i])
-			ev.surrogateServed.Add(1)
-			continue
+	} else {
+		scores := make([]float64, n)
+		bands := make([]float64, n)
+		ests := make([]analytic.Estimate, n)
+		for i := range cfgs {
+			ests[i] = analytic.Surrogate(simSpec(ccs[i]))
+			scores[i] = ests[i].AppIPC
+			bands[i] = ev.band(simRegionKey(ev.granularity, ccs[i]), scores[i])
 		}
-		boundary[i] = true // escalated for any reason counts as boundary in the report
-		escalate = append(escalate, i)
+		boundary = boundarySet(d, scores, bands)
+		for i := range cfgs {
+			if r, ok := ev.simAnchors[keys[i]]; ok {
+				out[i] = r
+				ev.anchorHits.Add(1)
+				continue
+			}
+			if mode == Fast && !boundary[i] && !math.IsInf(bands[i], 1) {
+				out[i] = surrogateSimResult(ests[i])
+				ev.surrogateServed.Add(1)
+				continue
+			}
+			boundary[i] = true // escalated for any reason counts as boundary in the report
+			escalate = append(escalate, i)
+		}
 	}
 	ev.escalated.Add(int64(len(escalate)))
 	if len(escalate) > 0 {
@@ -315,37 +364,54 @@ func (ev *Evaluator) StructuralsDecided(ctx context.Context, cfgs []sim.Structur
 	n := len(cfgs)
 	out := make([]sim.StructuralResult, n)
 	keys := make([]string, n)
-	scores := make([]float64, n)
-	bands := make([]float64, n)
-	ests := make([]analytic.Estimate, n)
+	ccs := make([]sim.StructuralConfig, n)
 	for i, c := range cfgs {
 		cc, err := c.Canonical()
 		if err != nil {
 			return nil, nil, err
 		}
+		ccs[i] = cc
 		keys[i] = c.Key()
-		ests[i] = analytic.Surrogate(structuralSpec(cc))
-		scores[i] = ests[i].AppIPC
-		bands[i] = ev.band(structuralRegionKey(ev.granularity, cc), scores[i])
 	}
 	ev.scored.Add(int64(n))
-
-	boundary := boundarySet(d, scores, bands)
 	mode := modeFrom(ctx, ev.mode)
+
+	var boundary []bool
 	var escalate []int
-	for i := range cfgs {
-		if r, ok := ev.structAnchors[keys[i]]; ok {
-			out[i] = r
-			ev.anchorHits.Add(1)
-			continue
+	if fullEscalation(mode, n,
+		func(i int) bool { _, ok := ev.structAnchors[keys[i]]; return ok },
+		func(i int) bool { return ev.certified(structuralRegionKey(ev.granularity, ccs[i])) },
+	) {
+		boundary = make([]bool, n)
+		escalate = make([]int, n)
+		for i := range cfgs {
+			boundary[i] = true
+			escalate[i] = i
 		}
-		if mode == Fast && !boundary[i] && !math.IsInf(bands[i], 1) {
-			out[i] = surrogateStructuralResult(ests[i])
-			ev.surrogateServed.Add(1)
-			continue
+	} else {
+		scores := make([]float64, n)
+		bands := make([]float64, n)
+		ests := make([]analytic.Estimate, n)
+		for i := range cfgs {
+			ests[i] = analytic.Surrogate(structuralSpec(ccs[i]))
+			scores[i] = ests[i].AppIPC
+			bands[i] = ev.band(structuralRegionKey(ev.granularity, ccs[i]), scores[i])
 		}
-		boundary[i] = true
-		escalate = append(escalate, i)
+		boundary = boundarySet(d, scores, bands)
+		for i := range cfgs {
+			if r, ok := ev.structAnchors[keys[i]]; ok {
+				out[i] = r
+				ev.anchorHits.Add(1)
+				continue
+			}
+			if mode == Fast && !boundary[i] && !math.IsInf(bands[i], 1) {
+				out[i] = surrogateStructuralResult(ests[i])
+				ev.surrogateServed.Add(1)
+				continue
+			}
+			boundary[i] = true
+			escalate = append(escalate, i)
+		}
 	}
 	ev.escalated.Add(int64(len(escalate)))
 	if err := ev.runStructurals(ctx, cfgs, keys, escalate, out); err != nil {
