@@ -1,0 +1,96 @@
+// Command sochaos is a fault-injecting reverse proxy for exercising
+// the serve/cluster tier's degraded regime end to end: put it between
+// a coordinator and a soprocd replica and the replica becomes flaky,
+// slow, or both — deterministically, from a seed.
+//
+//	sochaos -listen :9191 -target 127.0.0.1:9090 \
+//	    -error-rate 0.15 -reset-rate 0.05 -torn-rate 0.05 \
+//	    -latency-rate 0.5 -latency 50ms -seed 7
+//
+// Flags:
+//
+//	-listen addr        address to listen on (default :9191)
+//	-target addr        backend soprocd ("host:port" or http:// URL)
+//	-seed n             fault RNG seed (default 1)
+//	-error-rate p       probability of a synthesized 5xx (default 0)
+//	-error-status n     status code for injected errors (default 502)
+//	-reset-rate p       probability of an abrupt connection reset (default 0)
+//	-torn-rate p        probability of a torn response body (default 0)
+//	-latency-rate p     probability of added latency (default 0)
+//	-latency d          injected delay (default 50ms)
+//
+// The proxy serves its injection counters as JSON at /chaosz
+// (requests, passed, errors, resets, torn, delayed) so a harness can
+// assert that faults actually happened. Every other path is forwarded
+// to the target, subject to the fault roll. SIGINT/SIGTERM shut the
+// proxy down after printing the final counters to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scaleout/internal/chaos"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":9191", "address to listen on")
+		target      = flag.String("target", "", "backend soprocd address (host:port or http:// URL)")
+		seed        = flag.Int64("seed", 1, "fault RNG seed")
+		errorRate   = flag.Float64("error-rate", 0, "probability of a synthesized 5xx")
+		errorStatus = flag.Int("error-status", http.StatusBadGateway, "status code for injected errors")
+		resetRate   = flag.Float64("reset-rate", 0, "probability of an abrupt connection reset")
+		tornRate    = flag.Float64("torn-rate", 0, "probability of a torn response body")
+		latencyRate = flag.Float64("latency-rate", 0, "probability of added latency")
+		latency     = flag.Duration("latency", 50*time.Millisecond, "injected delay")
+	)
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "sochaos: -target is required")
+		os.Exit(2)
+	}
+
+	proxy, err := chaos.NewProxy(*target, chaos.Faults{
+		Seed:        *seed,
+		ErrorRate:   *errorRate,
+		ErrorStatus: *errorStatus,
+		ResetRate:   *resetRate,
+		TornRate:    *tornRate,
+		LatencyRate: *latencyRate,
+		Latency:     *latency,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sochaos: %v\n", err)
+		os.Exit(2)
+	}
+
+	hs := &http.Server{Addr: *listen, Handler: proxy}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sochaos: %s -> %s (error %.2f reset %.2f torn %.2f latency %.2f@%s seed %d)\n",
+		*listen, *target, *errorRate, *resetRate, *tornRate, *latencyRate, *latency, *seed)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sochaos: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "sochaos: %v, shutting down\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx)
+	out, _ := json.Marshal(proxy.Stats())
+	fmt.Fprintf(os.Stderr, "sochaos: final %s\n", out)
+}

@@ -22,6 +22,18 @@
 //	                                 taking traffic, the graceful drain
 //	                                 flushes, and /statsz grows a "store"
 //	                                 section
+//	soprocd -rate 50 -burst 100      per-client admission rate in
+//	                                 requests/sec with a token-bucket
+//	                                 burst (0 = unlimited; clients keyed
+//	                                 by X-Soproc-Client, else remote addr)
+//	soprocd -queue-depth 64          waiting requests per priority lane
+//	                                 once -max-inflight is reached; full
+//	                                 lanes shed with 429 + Retry-After
+//	                                 (0 = default 128, negative = none)
+//	soprocd -max-inflight 32         concurrently admitted requests
+//	                                 (0 = 4*GOMAXPROCS)
+//	soprocd -request-timeout 5m      per-request deadline for admitted
+//	                                 requests (0 = untimed)
 //
 // Endpoints (see internal/serve):
 //
@@ -42,13 +54,22 @@
 // Output stays byte-identical to single-node serving; see API.md and
 // the DESIGN.md cluster section.
 //
+// Every request passes through an admission controller
+// (internal/admit) before it reaches a handler: -max-inflight requests
+// run at once, up to -queue-depth more wait per priority lane —
+// interactive /v1/exp requests preempt bulk /v1/sweep work — and
+// anything beyond that is shed immediately with 429 Too Many Requests
+// and a Retry-After hint instead of queueing without bound. /statsz
+// grows an "admit" section (admitted, shed, queue depths per lane).
+//
 // Unlike the one-shot CLIs, the daemon bounds its memo (-memo-cap):
 // least-recently-used results are evicted under capacity pressure, so
 // memory stays bounded over an unbounded request stream, while
 // in-flight and waited-on entries are pinned and single-flight
-// semantics are preserved. On SIGINT/SIGTERM the server stops
-// accepting, drains in-flight requests for up to -drain, then cancels
-// whatever remains through the engine's context plumbing.
+// semantics are preserved. On SIGINT/SIGTERM the admission controller
+// drains first — new and parked requests get 503 — then the server
+// stops accepting, drains in-flight requests for up to -drain, and
+// cancels whatever remains through the engine's context plumbing.
 package main
 
 import (
@@ -64,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"scaleout/internal/admit"
 	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
 	"scaleout/internal/serve"
@@ -80,6 +102,11 @@ func main() {
 	calPath := flag.String("calibration", "", "calibration.json from cmd/calibrate: anchors plus certified error regions for tiered evaluation")
 	useStore := flag.Bool("store", false, "persist simulator results in -store-dir; a restarted daemon re-warms from the log before taking traffic")
 	storeDir := flag.String("store-dir", store.DefaultDir, "persistent result store directory (with -store)")
+	rate := flag.Float64("rate", 0, "per-client admission rate in requests/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "per-client token-bucket burst (0 = derived from -rate)")
+	queueDepth := flag.Int("queue-depth", 128, "waiting requests per priority lane once -max-inflight is reached; full lanes shed with 429 (0 = default 128, negative = no queue)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrently admitted requests (0 = 4*GOMAXPROCS)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline for admitted requests (0 = untimed)")
 	flag.Parse()
 
 	eng := exp.NewBounded(*parallel, *memoCap)
@@ -114,13 +141,25 @@ func main() {
 		log.Printf("soprocd: coordinating %d replicas: %s", len(strings.Split(*peers, ",")), *peers)
 	}
 
+	// Every request is admitted (or shed) before it reaches a handler;
+	// /healthz and /statsz bypass admission so a saturated daemon stays
+	// observable.
+	ctrl := admit.New(admit.Options{
+		Rate:           *rate,
+		Burst:          *burst,
+		MaxInFlight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *requestTimeout,
+	})
+	srv.SetAdmitStats(func() any { return ctrl.Stats() })
+
 	// Request contexts derive from baseCtx; it stays live through the
 	// drain window so in-flight sweeps finish, then cancels the rest.
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
 	hs := &http.Server{
 		Addr:        *addr,
-		Handler:     srv.Handler(),
+		Handler:     ctrl.Middleware(srv.Handler()),
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 		// A stalled client must not pin a connection (and its
 		// goroutine) forever; response writes are left untimed because
@@ -136,6 +175,10 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("soprocd: shutting down, draining for up to %s", *drain)
+		// Refuse new and parked work first (503 "draining") so the
+		// server's drain window is spent finishing what is already
+		// running, not admitting more.
+		ctrl.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

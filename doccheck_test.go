@@ -16,8 +16,11 @@ import (
 // exported identifier fails the PR — the `revive exported` rule,
 // without the dependency.
 var docAuditDirs = []string{
+	"internal/admit",
+	"internal/chaos",
 	"internal/cluster",
 	"internal/serve",
+	"internal/vclock",
 	"internal/exp",
 	"internal/exp/engine",
 	"internal/sim",

@@ -1,0 +1,339 @@
+package admit
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"scaleout/internal/vclock"
+)
+
+func TestAdmitWithinCapacity(t *testing.T) {
+	c := New(Options{MaxInFlight: 2, QueueDepth: 1})
+	r1, err := c.Admit(context.Background(), Bulk, "a")
+	if err != nil {
+		t.Fatalf("Admit 1: %v", err)
+	}
+	r2, err := c.Admit(context.Background(), Interactive, "b")
+	if err != nil {
+		t.Fatalf("Admit 2: %v", err)
+	}
+	st := c.Stats()
+	if st.Admitted != 2 || st.InFlight != 2 {
+		t.Fatalf("stats = %+v, want 2 admitted, 2 in flight", st)
+	}
+	if st.Lanes["bulk"].Admitted != 1 || st.Lanes["interactive"].Admitted != 1 {
+		t.Fatalf("lane stats = %+v", st.Lanes)
+	}
+	r1()
+	r2()
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("in flight = %d after release, want 0", st.InFlight)
+	}
+}
+
+// TestQueueFullSheds429: a saturated controller refuses immediately
+// with 429 and a Retry-After hint instead of queueing without bound.
+func TestQueueFullSheds429(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, QueueDepth: 1, RetryAfter: 7 * time.Second})
+	release, err := c.Admit(context.Background(), Bulk, "a")
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	defer release()
+
+	// Fill the one queue slot.
+	queued := make(chan struct{})
+	go func() {
+		r, err := c.Admit(context.Background(), Bulk, "b")
+		if err == nil {
+			r()
+		}
+		close(queued)
+	}()
+	waitFor(t, func() bool { return c.Stats().Lanes["bulk"].Depth == 1 })
+
+	// The next arrival sheds instantly.
+	start := time.Now()
+	_, err = c.Admit(context.Background(), Bulk, "c")
+	ae, ok := err.(*Error)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("Admit = %v, want 429", err)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", ae.RetryAfter)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("shed request did not fail fast")
+	}
+	if st := c.Stats(); st.ShedQueueFull != 1 {
+		t.Fatalf("stats = %+v, want 1 queue-full shed", st)
+	}
+	release()
+	<-queued
+}
+
+// TestInteractivePreemptsBulk: a freed slot goes to the interactive
+// waiter even when bulk waiters have queued longer.
+func TestInteractivePreemptsBulk(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, QueueDepth: 4})
+	release, err := c.Admit(context.Background(), Bulk, "a")
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+
+	var mu sync.Mutex
+	var order []Lane
+	var wg sync.WaitGroup
+	enqueue := func(lane Lane) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := c.Admit(context.Background(), lane, "x")
+			if err != nil {
+				t.Errorf("queued Admit: %v", err)
+				return
+			}
+			mu.Lock()
+			order = append(order, lane)
+			mu.Unlock()
+			r()
+		}()
+		waitFor(t, func() bool {
+			st := c.Stats()
+			return st.Lanes["bulk"].Depth+st.Lanes["interactive"].Depth > 0 &&
+				st.Lanes[lane.String()].Queued > 0
+		})
+	}
+	enqueue(Bulk) // queues first...
+	enqueue(Interactive)
+	release() // ...but interactive is granted first
+	wg.Wait()
+	if len(order) != 2 || order[0] != Interactive || order[1] != Bulk {
+		t.Fatalf("grant order = %v, want [interactive bulk]", order)
+	}
+}
+
+// TestRateLimitPerClient: one client's exhausted bucket sheds with a
+// refill hint while another client still admits; the bucket refills on
+// the injected clock.
+func TestRateLimitPerClient(t *testing.T) {
+	clk := vclock.NewFake(time.Unix(0, 0))
+	c := New(Options{Rate: 1, Burst: 2, MaxInFlight: 16, Clock: clk})
+	for i := 0; i < 2; i++ {
+		r, err := c.Admit(context.Background(), Bulk, "greedy")
+		if err != nil {
+			t.Fatalf("Admit %d: %v", i, err)
+		}
+		r()
+	}
+	_, err := c.Admit(context.Background(), Bulk, "greedy")
+	ae, ok := err.(*Error)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("Admit = %v, want 429", err)
+	}
+	if ae.RetryAfter <= 0 || ae.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s]", ae.RetryAfter)
+	}
+	// A different client is unaffected.
+	if r, err := c.Admit(context.Background(), Bulk, "polite"); err != nil {
+		t.Fatalf("other client shed: %v", err)
+	} else {
+		r()
+	}
+	// The bucket refills with (virtual) time.
+	clk.Advance(time.Second)
+	if r, err := c.Admit(context.Background(), Bulk, "greedy"); err != nil {
+		t.Fatalf("Admit after refill: %v", err)
+	} else {
+		r()
+	}
+	if st := c.Stats(); st.RateLimited != 1 || st.Clients != 2 {
+		t.Fatalf("stats = %+v, want 1 rate-limited, 2 clients", st)
+	}
+}
+
+// TestDrainRefusesAndFlushesQueue: draining refuses new arrivals with
+// 503 and kicks parked waiters out with 503, while admitted work keeps
+// its slot.
+func TestDrainRefusesAndFlushesQueue(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, QueueDepth: 4})
+	release, err := c.Admit(context.Background(), Bulk, "a")
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(context.Background(), Bulk, "b")
+		errc <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Lanes["bulk"].Depth == 1 })
+
+	c.Drain()
+	qerr := <-errc
+	if ae, ok := qerr.(*Error); !ok || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("queued waiter got %v, want 503", qerr)
+	}
+	if _, err := c.Admit(context.Background(), Interactive, "c"); err == nil {
+		t.Fatal("Admit during drain succeeded")
+	}
+	st := c.Stats()
+	if !st.Draining || st.ShedDraining != 2 || st.InFlight != 1 {
+		t.Fatalf("stats = %+v, want draining, 2 drain sheds, 1 in flight", st)
+	}
+	release() // in-flight work finishes normally
+	if st := c.Stats(); st.InFlight != 0 {
+		t.Fatalf("in flight = %d, want 0", st.InFlight)
+	}
+}
+
+// TestQueuedWaiterAbandons: a queued request whose context dies leaves
+// the queue and reports 503.
+func TestQueuedWaiterAbandons(t *testing.T) {
+	c := New(Options{MaxInFlight: 1, QueueDepth: 4})
+	release, err := c.Admit(context.Background(), Bulk, "a")
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Admit(ctx, Bulk, "b")
+		errc <- err
+	}()
+	waitFor(t, func() bool { return c.Stats().Lanes["bulk"].Depth == 1 })
+	cancel()
+	if ae, ok := (<-errc).(*Error); !ok || ae.Status != http.StatusServiceUnavailable {
+		t.Fatal("abandoned waiter did not get 503")
+	}
+	st := c.Stats()
+	if st.Abandoned != 1 || st.Lanes["bulk"].Depth != 0 {
+		t.Fatalf("stats = %+v, want 1 abandoned, empty queue", st)
+	}
+}
+
+// TestMiddleware: lanes classify by path, refusals carry the structured
+// body and Retry-After header, and health/stats endpoints bypass
+// admission entirely.
+func TestMiddleware(t *testing.T) {
+	clk := vclock.NewFake(time.Unix(0, 0))
+	c := New(Options{Rate: 1, Burst: 1, MaxInFlight: 4, Clock: clk})
+	var served []string
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served = append(served, r.URL.Path)
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	get := func(path, client string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		if client != "" {
+			r.Header.Set(ClientHeader, client)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	if w := get("/v1/exp/fig2.1", "cli"); w.Code != http.StatusOK {
+		t.Fatalf("first request = %d", w.Code)
+	}
+	w := get("/v1/sweep", "cli") // bucket empty now
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited request = %d, want 429", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(w.Body).Decode(&body); err != nil || body.Error == "" || body.RetryAfterSeconds <= 0 {
+		t.Fatalf("429 body = %+v, err %v; want structured ErrorBody", body, err)
+	}
+	// Probes and monitoring bypass admission even for the shed client.
+	if w := get("/healthz", "cli"); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200 (bypasses admission)", w.Code)
+	}
+	if w := get("/statsz", "cli"); w.Code != http.StatusOK {
+		t.Fatalf("statsz = %d, want 200 (bypasses admission)", w.Code)
+	}
+	if st := c.Stats(); st.Lanes["interactive"].Admitted != 1 || st.RateLimited != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(served) != 3 {
+		t.Fatalf("served %v", served)
+	}
+}
+
+// TestMiddlewareRequestTimeout: an admitted request runs under the
+// configured deadline, propagated through its context.
+func TestMiddlewareRequestTimeout(t *testing.T) {
+	c := New(Options{RequestTimeout: 10 * time.Millisecond})
+	deadlineSeen := make(chan bool, 1)
+	h := c.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok := r.Context().Deadline()
+		deadlineSeen <- ok
+	}))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/exp/all", nil))
+	if !<-deadlineSeen {
+		t.Fatal("admitted request had no deadline")
+	}
+}
+
+func TestLaneForAndClientKey(t *testing.T) {
+	cases := []struct {
+		method, path string
+		want         Lane
+	}{
+		{http.MethodGet, "/v1/exp/fig2.1", Interactive},
+		{http.MethodGet, "/v1/experiments", Interactive},
+		{http.MethodPost, "/v1/sweep", Bulk},
+		{http.MethodGet, "/v1/sweep", Bulk},
+	}
+	for _, tc := range cases {
+		r := httptest.NewRequest(tc.method, tc.path, nil)
+		if got := LaneFor(r); got != tc.want {
+			t.Errorf("LaneFor(%s %s) = %v, want %v", tc.method, tc.path, got, tc.want)
+		}
+	}
+	r := httptest.NewRequest(http.MethodGet, "/v1/sweep", nil)
+	r.RemoteAddr = "10.1.2.3:54321"
+	if got := ClientKey(r); got != "10.1.2.3" {
+		t.Errorf("ClientKey = %q, want host only", got)
+	}
+	r.Header.Set(ClientHeader, "searchbot")
+	if got := ClientKey(r); got != "searchbot" {
+		t.Errorf("ClientKey = %q, want header value", got)
+	}
+}
+
+// TestWriteError is the structured-refusal shape shared with serve's
+// 413 path.
+func TestWriteError(t *testing.T) {
+	w := httptest.NewRecorder()
+	WriteError(w, http.StatusRequestEntityTooLarge, "too big", 0)
+	if w.Code != http.StatusRequestEntityTooLarge || w.Header().Get("Retry-After") != "" {
+		t.Fatalf("code %d, Retry-After %q", w.Code, w.Header().Get("Retry-After"))
+	}
+	b, _ := io.ReadAll(w.Body)
+	var body ErrorBody
+	if err := json.Unmarshal(b, &body); err != nil || body.Error != "too big" {
+		t.Fatalf("body %s: %v", b, err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,355 @@
+// Package chaos injects faults into HTTP traffic so the serve/cluster
+// tier can be tested in its degraded regime, not just its happy path.
+//
+// Two injection points share one fault model (Faults): Transport wraps
+// an http.RoundTripper on the client side — the coordinator's own
+// replica client can be made flaky without any network help — and
+// Proxy is a reverse proxy that sits in front of a live daemon, for
+// end-to-end and CI runs where the faults must cross a real socket
+// (cmd/sochaos is the standalone binary form).
+//
+// Four fault kinds cover the failure modes internal/cluster claims to
+// survive: added latency (a slow replica), synthesized 5xx responses
+// (a failing replica), abrupt connection resets (a dying replica), and
+// torn response bodies — the response starts, declares its full
+// length, and is cut off halfway (a replica dying mid-reply). Fault
+// decisions are drawn from a seeded RNG, so a given request sequence
+// sees a reproducible fault sequence; under concurrency the
+// interleaving may vary but the fault mix does not.
+//
+// The invariant this package exists to check: none of these faults may
+// change sweep output. The cluster retries, fails over, or computes
+// locally — byte-identical either way — and the suite in this package
+// asserts exactly that.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is the injected fault mix. Rates are independent
+// probabilities in [0, 1]; latency is decided separately from the
+// terminal faults (error, reset, torn), which are mutually exclusive
+// per request.
+type Faults struct {
+	// Seed seeds the fault RNG; 0 selects 1 so the zero value is
+	// still deterministic.
+	Seed int64
+	// ErrorRate is the probability of answering with ErrorStatus
+	// instead of forwarding.
+	ErrorRate float64
+	// ErrorStatus is the synthesized error's status code (default 502).
+	ErrorStatus int
+	// ResetRate is the probability of an abrupt connection reset: the
+	// client sees a transport error, not an HTTP response.
+	ResetRate float64
+	// TornRate is the probability of a torn response: headers and the
+	// first half of the body are delivered, then the connection dies.
+	TornRate float64
+	// LatencyRate is the probability of delaying a request by Latency
+	// before it is otherwise handled (real time — the point of a slow
+	// replica is that it is actually slow).
+	LatencyRate float64
+	// Latency is the injected delay.
+	Latency time.Duration
+}
+
+// Stats counts what an injector actually did; the proxy serves it as
+// JSON at /chaosz so CI can assert faults really happened.
+type Stats struct {
+	Requests int64 `json:"requests"`
+	Passed   int64 `json:"passed"`
+	Errors   int64 `json:"errors"`
+	Resets   int64 `json:"resets"`
+	Torn     int64 `json:"torn"`
+	Delayed  int64 `json:"delayed"`
+}
+
+// faultKind is one terminal outcome for a request.
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultError
+	faultReset
+	faultTorn
+)
+
+// injector is the shared seeded decision engine behind Transport and
+// Proxy.
+type injector struct {
+	f Faults
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	requests, passed, errors, resets, torn, delayed atomic.Int64
+}
+
+func newInjector(f Faults) *injector {
+	if f.Seed == 0 {
+		f.Seed = 1
+	}
+	if f.ErrorStatus == 0 {
+		f.ErrorStatus = http.StatusBadGateway
+	}
+	return &injector{f: f, rng: rand.New(rand.NewSource(f.Seed))}
+}
+
+// roll draws this request's fate: whether to delay, and which terminal
+// fault (if any) to inject.
+func (in *injector) roll() (delay bool, kind faultKind) {
+	in.requests.Add(1)
+	in.mu.Lock()
+	delay = in.f.LatencyRate > 0 && in.rng.Float64() < in.f.LatencyRate
+	switch r := in.rng.Float64(); {
+	case r < in.f.ErrorRate:
+		kind = faultError
+	case r < in.f.ErrorRate+in.f.ResetRate:
+		kind = faultReset
+	case r < in.f.ErrorRate+in.f.ResetRate+in.f.TornRate:
+		kind = faultTorn
+	}
+	in.mu.Unlock()
+	if delay {
+		in.delayed.Add(1)
+	}
+	switch kind {
+	case faultError:
+		in.errors.Add(1)
+	case faultReset:
+		in.resets.Add(1)
+	case faultTorn:
+		in.torn.Add(1)
+	default:
+		in.passed.Add(1)
+	}
+	return delay, kind
+}
+
+func (in *injector) stats() Stats {
+	return Stats{
+		Requests: in.requests.Load(),
+		Passed:   in.passed.Load(),
+		Errors:   in.errors.Load(),
+		Resets:   in.resets.Load(),
+		Torn:     in.torn.Load(),
+		Delayed:  in.delayed.Load(),
+	}
+}
+
+// Transport is a fault-injecting http.RoundTripper: install it in a
+// client (e.g. cluster.WithHTTPClient) to make every backend look
+// flaky without touching the backend.
+type Transport struct {
+	base http.RoundTripper
+	inj  *injector
+}
+
+// NewTransport wraps base (nil selects http.DefaultTransport) with the
+// given fault mix.
+func NewTransport(base http.RoundTripper, f Faults) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, inj: newInjector(f)}
+}
+
+// Stats reports what the transport has injected so far.
+func (t *Transport) Stats() Stats { return t.inj.stats() }
+
+// errReset is the transport-level error a reset injection surfaces; it
+// mimics a peer closing the socket mid-request.
+var errReset = fmt.Errorf("chaos: connection reset by peer")
+
+// RoundTrip applies the fault roll to one request: a delay waits (or
+// aborts with the request context), an error synthesizes ErrorStatus
+// without forwarding, a reset fails the exchange outright, and a torn
+// fault forwards the request but truncates the response body halfway.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	delay, kind := t.inj.roll()
+	if delay && t.inj.f.Latency > 0 {
+		select {
+		case <-time.After(t.inj.f.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	switch kind {
+	case faultError:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		body := "chaos: injected error\n"
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", t.inj.f.ErrorStatus, http.StatusText(t.inj.f.ErrorStatus)),
+			StatusCode:    t.inj.f.ErrorStatus,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case faultReset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errReset
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || kind != faultTorn {
+		return resp, err
+	}
+	// Torn: deliver headers and half the body, then fail the read the
+	// way a dead connection would.
+	full, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	resp.Body = io.NopCloser(&tornReader{data: full[:len(full)/2]})
+	return resp, nil
+}
+
+// tornReader yields its data, then an abrupt connection error instead
+// of EOF.
+type tornReader struct {
+	data []byte
+	off  int
+}
+
+func (r *tornReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, errReset
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// Proxy is a fault-injecting reverse proxy in front of one backend.
+// It serves its own Stats as JSON at /chaosz; every other path is
+// forwarded (or faulted). Use NewProxy.
+type Proxy struct {
+	target *url.URL
+	client *http.Client
+	inj    *injector
+}
+
+// NewProxy returns a proxy forwarding to target ("host:port" or a full
+// http:// URL) with the given fault mix.
+func NewProxy(target string, f Faults) (*Proxy, error) {
+	if !strings.Contains(target, "://") {
+		target = "http://" + target
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad target %q: %v", target, err)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("chaos: target %q has no host", target)
+	}
+	// A dedicated transport so idle connections to the backend are not
+	// shared with anyone else's DefaultTransport usage.
+	return &Proxy{
+		target: u,
+		client: &http.Client{Transport: &http.Transport{}},
+		inj:    newInjector(f),
+	}, nil
+}
+
+// Stats reports what the proxy has injected so far.
+func (p *Proxy) Stats() Stats { return p.inj.stats() }
+
+// ServeHTTP rolls one fault decision and forwards, fails, or truncates
+// the exchange accordingly.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/chaosz" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.inj.stats())
+		return
+	}
+	delay, kind := p.inj.roll()
+	if delay && p.inj.f.Latency > 0 {
+		select {
+		case <-time.After(p.inj.f.Latency):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	switch kind {
+	case faultError:
+		http.Error(w, "chaos: injected error", p.inj.f.ErrorStatus)
+		return
+	case faultReset:
+		p.reset(w)
+		return
+	}
+	p.forward(w, r, kind == faultTorn)
+}
+
+// reset kills the client connection without an HTTP response: a real
+// TCP RST when the server lets us hijack, an aborted handler
+// otherwise.
+func (p *Proxy) reset(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// forward relays one request to the backend. With torn set it declares
+// the response's full length, writes half, and aborts the connection.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, torn bool) {
+	u := *p.target
+	u.Path = strings.TrimRight(u.Path, "/") + r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	if err != nil {
+		http.Error(w, "chaos: bad forward: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, "chaos: backend: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "chaos: backend read: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	if torn {
+		w.Write(body[:len(body)/2])
+		panic(http.ErrAbortHandler) // close without the declared rest
+	}
+	w.Write(body)
+}

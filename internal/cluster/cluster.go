@@ -17,42 +17,76 @@
 //
 // Points bound for the same replica are micro-batched into one
 // /v1/sweep POST (the engine releases a whole sweep's misses at once,
-// so a short batch window collects them), concurrent identical points
-// are deduplicated by the engine's single-flight memo before they reach
-// the coordinator, and a replica failure marks it down for a cooldown
-// and retries the point on its next-ranked owner. If every replica is
-// unreachable the Route declines and the engine computes locally —
-// sharding changes only where a point runs, never its result, so
-// cluster output is byte-identical to single-node output.
+// so a short batch window collects them), and concurrent identical
+// points are deduplicated by the engine's single-flight memo before
+// they reach the coordinator.
+//
+// Failure handling is layered for the degraded regime, not just the
+// dead one. A transient failure (connection error, 5xx, torn response,
+// post timeout) is retried on the same replica with jittered
+// exponential backoff, a bounded number of times (WithRetries); only
+// when the budget is exhausted is the replica marked down for a
+// cooldown and the point failed over to its next-ranked owner. A 429
+// from a replica's admission controller is different: the replica is
+// shedding load, not dying, so the coordinator honors its Retry-After
+// hint (clamped between the backoff base and the cooldown) and never
+// marks it down. A replica in cooldown is probed actively
+// (GET /healthz every WithProbeInterval) so it returns to rotation as
+// soon as it recovers rather than when the cooldown clock says so.
+// Every post carries a per-request timeout (WithPostTimeout) so one
+// hung replica cannot pin a batch for the old flat ten minutes. If
+// every replica is unreachable the Route declines and the engine
+// computes locally — sharding changes only where a point runs, never
+// its result, so cluster output is byte-identical to single-node
+// output, under fault injection included (see internal/chaos).
+//
+// All time-dependent behavior — cooldowns, backoff, batch windows,
+// probe scheduling — runs on an injectable clock (WithClock,
+// internal/vclock), so the failure logic is deterministic in tests.
 package cluster
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"scaleout/internal/admit"
 	"scaleout/internal/serve"
 	"scaleout/internal/sim"
+	"scaleout/internal/vclock"
 )
 
 // Coordinator shards routable sweep points across soprocd replicas.
 // Construct with New; install on an engine with eng.SetRoute(c.Route).
 // A Coordinator is safe for concurrent use.
 type Coordinator struct {
-	replicas []*replica
-	client   *http.Client
-	window   time.Duration
-	maxBatch int
-	cooldown time.Duration
+	replicas      []*replica
+	client        *http.Client
+	clock         vclock.Clock
+	window        time.Duration
+	maxBatch      int
+	cooldown      time.Duration
+	retries       int
+	backoffBase   time.Duration
+	backoffCap    time.Duration
+	postTimeout   time.Duration
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter; seeded for deterministic tests
 
 	mu      sync.Mutex
 	batches map[*replica]*batch
@@ -62,6 +96,8 @@ type Coordinator struct {
 	fallbacks  atomic.Int64 // points declined because every replica failed
 	unroutable atomic.Int64 // points not representable on the wire
 	posts      atomic.Int64 // /v1/sweep requests issued
+	retried    atomic.Int64 // same-replica re-attempts after transient failures
+	busy       atomic.Int64 // 429 responses honored (replica shedding load)
 }
 
 // Option configures a Coordinator at construction.
@@ -85,15 +121,78 @@ func WithMaxBatch(n int) Option {
 }
 
 // WithCooldown sets how long a failed replica is skipped before it is
-// offered work again (default 3s).
+// offered work again by wall clock alone (default 3s); active health
+// probing (WithProbeInterval) can end the cooldown earlier.
 func WithCooldown(d time.Duration) Option {
 	return func(c *Coordinator) { c.cooldown = d }
 }
 
 // WithHTTPClient replaces the HTTP client used for replica requests
-// (default: a dedicated client with a 10-minute request timeout).
+// (default: a dedicated client with no global timeout — every post is
+// individually bounded by WithPostTimeout instead).
 func WithHTTPClient(cl *http.Client) Option {
 	return func(c *Coordinator) { c.client = cl }
+}
+
+// WithRetries bounds how many times a failed post is re-attempted on
+// the same replica — with jittered exponential backoff — before the
+// replica is marked down and the point fails over to its next-ranked
+// owner (default 2, i.e. up to 3 attempts per replica; negative is
+// treated as 0).
+func WithRetries(n int) Option {
+	return func(c *Coordinator) {
+		if n < 0 {
+			n = 0
+		}
+		c.retries = n
+	}
+}
+
+// WithBackoff sets the retry backoff's base and cap: attempt n waits a
+// jittered duration in [d/2, d] where d = min(base<<n, cap) (defaults
+// 25ms and 1s).
+func WithBackoff(base, cap time.Duration) Option {
+	return func(c *Coordinator) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if cap > 0 {
+			c.backoffCap = cap
+		}
+	}
+}
+
+// WithPostTimeout bounds one forwarded /v1/sweep request (default 2m;
+// <= 0 leaves posts untimed). A post that times out counts as a
+// transient replica failure: retried, then failed over.
+func WithPostTimeout(d time.Duration) Option {
+	return func(c *Coordinator) { c.postTimeout = d }
+}
+
+// WithProbeInterval sets how often a replica in cooldown is probed with
+// GET /healthz so it can return to rotation before the cooldown
+// expires (default 500ms; <= 0 disables probing and leaves recovery to
+// the cooldown clock alone).
+func WithProbeInterval(d time.Duration) Option {
+	return func(c *Coordinator) { c.probeInterval = d }
+}
+
+// WithClock injects the coordinator's clock (default the system
+// clock). Tests inject a vclock.Fake so cooldown expiry, backoff, and
+// batch windows are driven by Advance instead of real sleeps. Post
+// timeouts are context deadlines and always run on real time.
+func WithClock(clk vclock.Clock) Option {
+	return func(c *Coordinator) {
+		if clk != nil {
+			c.clock = clk
+		}
+	}
+}
+
+// WithJitterSeed seeds the backoff jitter (default 1), making retry
+// schedules reproducible.
+func WithJitterSeed(seed int64) Option {
+	return func(c *Coordinator) { c.rng = rand.New(rand.NewSource(seed)) }
 }
 
 // New returns a coordinator over the given replica addresses
@@ -102,11 +201,19 @@ func WithHTTPClient(cl *http.Client) Option {
 // (cooldown) and its shard re-hashes to the next owners.
 func New(peers []string, opts ...Option) (*Coordinator, error) {
 	c := &Coordinator{
-		client:   &http.Client{Timeout: 10 * time.Minute},
-		window:   2 * time.Millisecond,
-		maxBatch: serve.MaxSweepPoints,
-		cooldown: 3 * time.Second,
-		batches:  make(map[*replica]*batch),
+		client:        &http.Client{},
+		clock:         vclock.System{},
+		window:        2 * time.Millisecond,
+		maxBatch:      serve.MaxSweepPoints,
+		cooldown:      3 * time.Second,
+		retries:       2,
+		backoffBase:   25 * time.Millisecond,
+		backoffCap:    time.Second,
+		postTimeout:   2 * time.Minute,
+		probeInterval: 500 * time.Millisecond,
+		probeTimeout:  2 * time.Second,
+		rng:           rand.New(rand.NewSource(1)),
+		batches:       make(map[*replica]*batch),
 	}
 	for _, o := range opts {
 		o(c)
@@ -140,8 +247,11 @@ type replica struct {
 	base string // http://host:port
 
 	downUntil atomic.Int64 // unix nanos; 0 = healthy
+	probing   atomic.Bool  // a health-probe goroutine is active
 	sent      atomic.Int64 // points this replica answered
-	failures  atomic.Int64 // failed /v1/sweep requests
+	failures  atomic.Int64 // failed /v1/sweep attempts
+	busy      atomic.Int64 // 429 responses (shedding, not failing)
+	probes    atomic.Int64 // /healthz probes issued while in cooldown
 }
 
 func (r *replica) down(now time.Time) bool {
@@ -152,10 +262,23 @@ func (r *replica) markDown(now time.Time, cooldown time.Duration) {
 	r.downUntil.Store(now.Add(cooldown).UnixNano())
 }
 
+// busyError is a replica's 429: it is shedding load, not failing, so
+// the caller honors RetryAfter instead of marking the replica down.
+type busyError struct {
+	replica    string
+	retryAfter time.Duration
+}
+
+func (e *busyError) Error() string {
+	return fmt.Sprintf("cluster: %s shedding load (retry after %s)", e.replica, e.retryAfter)
+}
+
 // Route implements exp.Route: it ships a sim.Config or
-// sim.StructuralConfig payload to the replica owning key, failing over
-// in rendezvous order, and declines (handled=false) payloads it cannot
-// represent on the wire or deliver to any replica — the engine then
+// sim.StructuralConfig payload to the replica owning key — retrying
+// transient failures on the same replica under the bounded backoff
+// budget, honoring 429 Retry-After hints, and failing over in
+// rendezvous order — and declines (handled=false) payloads it cannot
+// represent on the wire or deliver to any replica; the engine then
 // computes them locally with identical results.
 func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, bool, error) {
 	var (
@@ -185,7 +308,7 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 	// here so a replica that fails during this very call is never
 	// immediately re-attempted by the same point.
 	ranked := c.rank(key)
-	now := time.Now()
+	now := c.clock.Now()
 	candidates := make([]*replica, 0, len(ranked))
 	for _, rep := range ranked {
 		if !rep.down(now) {
@@ -198,28 +321,143 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 		}
 	}
 	for attempt, rep := range candidates {
-		res, err := c.enqueue(ctx, rep, wire)
-		if err == nil {
-			val, derr := decodeResult(kind, res)
-			if derr == nil {
-				if attempt > 0 {
-					c.failovers.Add(1)
+		for try := 0; ; try++ {
+			res, err := c.enqueue(ctx, rep, wire)
+			if err == nil {
+				val, derr := decodeResult(kind, res)
+				if derr == nil {
+					if attempt > 0 {
+						c.failovers.Add(1)
+					}
+					c.routed.Add(1)
+					return val, true, nil
 				}
-				c.routed.Add(1)
-				return val, true, nil
+				err = derr
 			}
-			err = derr
+			if ctx.Err() != nil {
+				// The caller went away; this is a cancellation, not a
+				// replica failure, and the engine withdraws the entry.
+				return nil, true, ctx.Err()
+			}
+			var be *busyError
+			if errors.As(err, &be) {
+				// The replica shed the batch: healthy but saturated.
+				// Honor its hint (within the backoff/cooldown clamp) and
+				// retry it, never marking it down; once the budget is
+				// spent, spill to the next-ranked owner.
+				rep.busy.Add(1)
+				c.busy.Add(1)
+				if try >= c.retries {
+					break
+				}
+				if serr := vclock.Sleep(ctx, c.clock, c.clampHint(be.retryAfter)); serr != nil {
+					return nil, true, serr
+				}
+				continue
+			}
+			rep.failures.Add(1)
+			if try >= c.retries {
+				c.markDown(rep)
+				break
+			}
+			c.retried.Add(1)
+			if serr := vclock.Sleep(ctx, c.clock, c.backoff(try)); serr != nil {
+				return nil, true, serr
+			}
 		}
-		if ctx.Err() != nil {
-			// The caller went away; this is a cancellation, not a
-			// replica failure, and the engine withdraws the entry.
-			return nil, true, ctx.Err()
-		}
-		rep.failures.Add(1)
-		rep.markDown(time.Now(), c.cooldown)
 	}
 	c.fallbacks.Add(1)
 	return nil, false, nil
+}
+
+// backoff returns the jittered wait before retry number try (0-based):
+// uniform in [d/2, d] where d = min(base<<try, cap).
+func (c *Coordinator) backoff(try int) time.Duration {
+	d := c.backoffBase
+	for i := 0; i < try && d < c.backoffCap; i++ {
+		d *= 2
+	}
+	if d > c.backoffCap {
+		d = c.backoffCap
+	}
+	if d <= 0 {
+		return 0
+	}
+	c.rngMu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d/2) + 1))
+	c.rngMu.Unlock()
+	return d/2 + j
+}
+
+// clampHint bounds a replica's Retry-After hint: at least the backoff
+// base (a zero or missing hint must not busy-spin), at most the
+// cooldown (a shedding replica should not stall a point longer than a
+// dead one would).
+func (c *Coordinator) clampHint(d time.Duration) time.Duration {
+	if d < c.backoffBase {
+		d = c.backoffBase
+	}
+	if c.cooldown > 0 && d > c.cooldown {
+		d = c.cooldown
+	}
+	return d
+}
+
+// markDown puts rep in failure cooldown and starts its health prober,
+// which ends the cooldown early if the replica answers /healthz.
+func (c *Coordinator) markDown(rep *replica) {
+	rep.markDown(c.clock.Now(), c.cooldown)
+	c.ensureProbe(rep)
+}
+
+// ensureProbe starts rep's probe loop unless one is already running.
+func (c *Coordinator) ensureProbe(rep *replica) {
+	if c.probeInterval > 0 && rep.probing.CompareAndSwap(false, true) {
+		go c.probeLoop(rep)
+	}
+}
+
+// probeLoop probes rep's /healthz every probeInterval while it is in
+// cooldown, clearing the cooldown on the first success. It exits when
+// the replica recovers or the cooldown lapses on its own; if the
+// replica was re-marked down in the instant the loop was exiting, a
+// fresh loop is started so a down replica is never left unprobed.
+func (c *Coordinator) probeLoop(rep *replica) {
+	defer func() {
+		rep.probing.Store(false)
+		if rep.down(c.clock.Now()) {
+			c.ensureProbe(rep)
+		}
+	}()
+	for {
+		<-c.clock.After(c.probeInterval)
+		if !rep.down(c.clock.Now()) {
+			return
+		}
+		rep.probes.Add(1)
+		if c.probeHealthz(rep) {
+			rep.downUntil.Store(0)
+			return
+		}
+	}
+}
+
+// probeHealthz reports whether rep currently answers its liveness
+// probe.
+func (c *Coordinator) probeHealthz(rep *replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // rank orders the replicas by rendezvous weight for key, highest first:
@@ -293,7 +531,7 @@ func (c *Coordinator) enqueue(ctx context.Context, rep *replica, p serve.SweepPo
 		b = &batch{ctx: bctx, cancel: cancel, done: make(chan struct{})}
 		c.batches[rep] = b
 		if c.window > 0 {
-			time.AfterFunc(c.window, func() { c.flush(rep, b) })
+			c.clock.AfterFunc(c.window, func() { c.flush(rep, b) })
 		} else {
 			// No batching: this point's own goroutine flushes as soon
 			// as the append below is published (flush reacquires mu).
@@ -372,8 +610,15 @@ func (c *Coordinator) flush(rep *replica, b *batch) {
 	rep.sent.Add(int64(len(points)))
 }
 
-// post issues one forwarded /v1/sweep request and decodes the response.
+// post issues one forwarded /v1/sweep request — bounded by the
+// per-post timeout — and decodes the response. A 429 becomes a
+// busyError carrying the replica's Retry-After hint.
 func (c *Coordinator) post(ctx context.Context, rep *replica, points []serve.SweepPoint) ([]serve.SweepResult, error) {
+	if c.postTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.postTimeout)
+		defer cancel()
+	}
 	body, err := json.Marshal(serve.SweepRequest{Points: points})
 	if err != nil {
 		return nil, err
@@ -384,11 +629,16 @@ func (c *Coordinator) post(ctx context.Context, rep *replica, points []serve.Swe
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(serve.ForwardedHeader, "1")
+	req.Header.Set(admit.ClientHeader, "coordinator")
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return nil, &busyError{replica: rep.addr, retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("cluster: %s: %s: %s", rep.addr, resp.Status, strings.TrimSpace(string(msg)))
@@ -403,6 +653,25 @@ func (c *Coordinator) post(ctx context.Context, rep *replica, points []serve.Swe
 	return sr.Results, nil
 }
 
+// parseRetryAfter decodes a Retry-After header: delta-seconds or an
+// HTTP date; 0 when absent or malformed (the caller clamps upward).
+func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		return time.Until(t)
+	}
+	return 0
+}
+
 // Stats is a point-in-time snapshot of a coordinator's routing traffic;
 // it is the /statsz "cluster" section of a -peers daemon.
 type Stats struct {
@@ -412,6 +681,12 @@ type Stats struct {
 	// retried past their first-choice owner after a failure.
 	Routed    int64 `json:"routed"`
 	Failovers int64 `json:"failovers"`
+	// Retries counts same-replica re-attempts after transient failures
+	// (each waits a jittered exponential backoff); Busy counts 429
+	// responses honored — the replica was shedding load, so its
+	// Retry-After hint was waited out instead of marking it down.
+	Retries int64 `json:"retries"`
+	Busy    int64 `json:"busy"`
 	// LocalFallbacks counts points computed locally because every
 	// replica failed; Unroutable those whose configuration the wire
 	// cannot represent (always computed locally).
@@ -425,19 +700,25 @@ type Stats struct {
 // PeerStats is one replica's slice of a Stats snapshot.
 type PeerStats struct {
 	Addr string `json:"addr"`
-	// Sent counts points this replica answered; Failures the requests
-	// it failed; Down whether it is currently in failure cooldown.
+	// Sent counts points this replica answered; Failures the attempts
+	// it failed; Busy the 429s it shed; Probes the /healthz probes
+	// issued at it while in cooldown; Down whether it is currently in
+	// failure cooldown.
 	Sent     int64 `json:"sent"`
 	Failures int64 `json:"failures"`
+	Busy     int64 `json:"busy"`
+	Probes   int64 `json:"probes"`
 	Down     bool  `json:"down"`
 }
 
 // Stats snapshots the coordinator's routing counters.
 func (c *Coordinator) Stats() Stats {
-	now := time.Now()
+	now := c.clock.Now()
 	st := Stats{
 		Routed:         c.routed.Load(),
 		Failovers:      c.failovers.Load(),
+		Retries:        c.retried.Load(),
+		Busy:           c.busy.Load(),
 		LocalFallbacks: c.fallbacks.Load(),
 		Unroutable:     c.unroutable.Load(),
 		Posts:          c.posts.Load(),
@@ -447,6 +728,8 @@ func (c *Coordinator) Stats() Stats {
 			Addr:     rep.addr,
 			Sent:     rep.sent.Load(),
 			Failures: rep.failures.Load(),
+			Busy:     rep.busy.Load(),
+			Probes:   rep.probes.Load(),
 			Down:     rep.down(now),
 		})
 	}

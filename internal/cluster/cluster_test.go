@@ -18,6 +18,7 @@ import (
 	"scaleout/internal/serve"
 	"scaleout/internal/sim"
 	"scaleout/internal/tech"
+	"scaleout/internal/vclock"
 	"scaleout/internal/workload"
 )
 
@@ -208,8 +209,11 @@ func TestClusterFailoverMidSweep(t *testing.T) {
 	survivors := []*testReplica{startReplica(t, nil), startReplica(t, nil)}
 	addrs := []string{victim.addr(), survivors[0].addr(), survivors[1].addr()}
 
-	// One point per POST so the kill lands mid-sweep, between batches.
-	coord, err := New(addrs, WithMaxBatch(1), WithBatchWindow(0))
+	// One point per POST so the kill lands mid-sweep, between batches;
+	// a small retry budget so the test exercises the backoff path
+	// without waiting out the default schedule.
+	coord, err := New(addrs, WithMaxBatch(1), WithBatchWindow(0),
+		WithRetries(1), WithBackoff(time.Millisecond, 4*time.Millisecond))
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -238,6 +242,9 @@ func TestClusterFailoverMidSweep(t *testing.T) {
 	}
 	if st.Failovers == 0 {
 		t.Fatalf("stats = %+v: expected re-hashed retries after the kill", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("stats = %+v: the killed replica should have been retried before failover", st)
 	}
 	var victimStats, survivorSent PeerStats
 	for _, p := range st.Peers {
@@ -398,9 +405,12 @@ func TestForwardedRequestsNeverLoop(t *testing.T) {
 // before the flush must not linger in the pending map — a later caller
 // inside the same window must open a fresh batch and succeed, without
 // the healthy replica being blamed for the dead batch's cancellation.
+// The batch window runs on an injected fake clock, so the test drives
+// both windows with Advance instead of real sleeps.
 func TestAbandonedBatchDetached(t *testing.T) {
 	rep := startReplica(t, nil)
-	coord, err := New([]string{rep.addr()}, WithBatchWindow(100*time.Millisecond))
+	clk := vclock.NewFake(time.Unix(0, 0))
+	coord, err := New([]string{rep.addr()}, WithBatchWindow(100*time.Millisecond), WithClock(clk))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,29 +421,44 @@ func TestAbandonedBatchDetached(t *testing.T) {
 	if _, err := coord.enqueue(cancelled, coord.replicas[0], wire); err == nil {
 		t.Fatal("enqueue on a cancelled context succeeded")
 	}
-	// Well inside the abandoned batch's window: must not join it.
-	res, err := coord.enqueue(context.Background(), coord.replicas[0], wire)
-	if err != nil {
-		t.Fatalf("enqueue after abandoned batch: %v", err)
+	// Still inside the abandoned batch's (virtual) window: must not
+	// join it. The fresh enqueue parks until its own window timer
+	// fires, so drive the clock once both timers are armed — the dead
+	// batch's flush must be a no-op, the live one must POST.
+	type out struct {
+		res serve.SweepResult
+		err error
 	}
-	if res.Sim == nil {
+	done := make(chan out, 1)
+	go func() {
+		res, err := coord.enqueue(context.Background(), coord.replicas[0], wire)
+		done <- out{res, err}
+	}()
+	clk.BlockUntil(2)
+	clk.Advance(100 * time.Millisecond)
+	got := <-done
+	if got.err != nil {
+		t.Fatalf("enqueue after abandoned batch: %v", got.err)
+	}
+	if got.res.Sim == nil {
 		t.Fatal("no result from fresh batch")
 	}
 	if f := coord.replicas[0].failures.Load(); f != 0 {
 		t.Fatalf("healthy replica charged with %d failures from an abandoned batch", f)
 	}
-	if coord.replicas[0].down(time.Now()) {
+	if coord.replicas[0].down(clk.Now()) {
 		t.Fatal("healthy replica marked down by an abandoned batch")
 	}
 }
 
-// TestRouteAttemptsEachReplicaOnce: when every replica is unreachable, a
-// point tries each exactly once — a replica that failed during this
-// very call is not immediately re-attempted by the cooldown pass.
+// TestRouteAttemptsEachReplicaOnce: with a zero retry budget and every
+// replica unreachable, a point tries each exactly once — a replica
+// that failed during this very call is not immediately re-attempted by
+// the cooldown pass.
 func TestRouteAttemptsEachReplicaOnce(t *testing.T) {
 	// Ports from the reserved loopback range with nothing listening:
 	// connection refused, instantly.
-	coord, err := New([]string{"127.0.0.1:1", "127.0.0.1:2"}, WithBatchWindow(0))
+	coord, err := New([]string{"127.0.0.1:1", "127.0.0.1:2"}, WithBatchWindow(0), WithRetries(0))
 	if err != nil {
 		t.Fatal(err)
 	}

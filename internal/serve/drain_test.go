@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"scaleout/internal/admit"
+	"scaleout/internal/exp"
+	"scaleout/internal/store"
+)
+
+// TestGracefulDrainUnderLoad is the drain contract end to end: while a
+// sweep is in flight, drain begins; the in-flight sweep completes with
+// 200, concurrent new requests are refused with a structured 503, and
+// the store holds every completed result for the next start's warm
+// boot.
+func TestGracefulDrainUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := exp.New(2)
+	eng.SetStore(st)
+	srv := New(eng)
+	ctrl := admit.New(admit.Options{})
+	srv.SetAdmitStats(func() any { return ctrl.Stats() })
+	ts := httptest.NewServer(ctrl.Middleware(srv.Handler()))
+	defer ts.Close()
+
+	// A sweep heavy enough to still be running when drain begins; the
+	// launch is confirmed by the admission controller's in-flight
+	// gauge (held for the whole request), not a sleep.
+	points := []SweepPoint{
+		cheapPoint("sim", 101), cheapPoint("sim", 102),
+		cheapPoint("sim", 103), cheapPoint("sim", 104),
+	}
+	for i := range points {
+		points[i].MeasureCycles = 2000000
+	}
+	body, _ := json.Marshal(SweepRequest{Points: points})
+	type reply struct {
+		status int
+		body   []byte
+	}
+	inflight := make(chan reply, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			inflight <- reply{}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		inflight <- reply{resp.StatusCode, b}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for ctrl.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep was never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain begins mid-sweep. New work is refused immediately with a
+	// structured 503...
+	ctrl.Drain()
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post during drain: %v", err)
+	}
+	refusal, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("during drain: status %d (%s), want 503", resp.StatusCode, refusal)
+	}
+	var eb admit.ErrorBody
+	if err := json.Unmarshal(refusal, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("drain refusal not structured: %v (%s)", err, refusal)
+	}
+
+	// ...while /statsz stays reachable and reports the drain...
+	code, statsBody := get(t, ts.URL+"/statsz")
+	if code != http.StatusOK {
+		t.Fatalf("statsz during drain: %d", code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal([]byte(statsBody), &stats); err != nil {
+		t.Fatal(err)
+	}
+	admitJSON, _ := json.Marshal(stats.Admit)
+	var ast admit.Stats
+	if err := json.Unmarshal(admitJSON, &ast); err != nil {
+		t.Fatal(err)
+	}
+	if !ast.Draining || ast.ShedDraining == 0 {
+		t.Fatalf("admit section = %+v, want draining with one shed", ast)
+	}
+
+	// ...and the sweep that was already admitted completes normally.
+	got := <-inflight
+	if got.status != http.StatusOK {
+		t.Fatalf("in-flight sweep: status %d (%s), want 200", got.status, got.body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(got.body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != len(points) {
+		t.Fatalf("%d results, want %d", len(sr.Results), len(points))
+	}
+	for i, r := range sr.Results {
+		if r.Sim == nil {
+			t.Fatalf("result %d missing", i)
+		}
+	}
+
+	// The store flush is the drain's last act: after Close, a fresh
+	// open re-warms every completed point.
+	if err := st.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != len(points) {
+		t.Fatalf("restarted store holds %d results, want %d", st2.Len(), len(points))
+	}
+}
+
+// TestSweepBodyTooLarge: a body past the cap is refused with a
+// structured 413 before any of it is decoded into points.
+func TestSweepBodyTooLarge(t *testing.T) {
+	ts := newTestServer(t, exp.New(2))
+	// Valid JSON shape, too many bytes: one giant padded workload name.
+	huge := bytes.Repeat([]byte("x"), maxSweepBody+1024)
+	body := []byte(`{"points":[{"workload":"` + string(huge) + `"}]}`)
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (%s), want 413", resp.StatusCode, out)
+	}
+	var eb admit.ErrorBody
+	if err := json.Unmarshal(out, &eb); err != nil || eb.Error == "" {
+		t.Fatalf("413 not structured: %v (%s)", err, out)
+	}
+	// A small body is still decoded (and then rejected for what it
+	// says, not for its size).
+	small, _ := json.Marshal(SweepRequest{})
+	resp2, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request: status %d, want 400", resp2.StatusCode)
+	}
+}

@@ -24,6 +24,12 @@
 // plumbing the CLIs use: a disconnecting client cancels its points, and
 // process shutdown drains in-flight work before cancelling the rest.
 //
+// The server itself admits everything; soprocd layers overload
+// protection in front of it with internal/admit's middleware (rate
+// limits, bounded queueing with 429 + Retry-After shedding, priority
+// lanes, per-request deadlines), and the /statsz "admit" section
+// reports what that middleware did (SetAdmitStats).
+//
 // The full HTTP contract — request and response JSON shapes with wire
 // tags, error codes, limits, and drain semantics — is documented in
 // API.md at the repository root; the coordinator protocol that shards
@@ -33,6 +39,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -40,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"scaleout/internal/admit"
 	"scaleout/internal/exp"
 	"scaleout/internal/figures"
 	"scaleout/internal/noc"
@@ -81,7 +89,17 @@ type Server struct {
 	// storeStats, if set (SetStoreStats), supplies the /statsz "store"
 	// section for a daemon running with a persistent result store.
 	storeStats func() any
+
+	// admitStats, if set (SetAdmitStats), supplies the /statsz "admit"
+	// section for a daemon running behind an admission controller.
+	admitStats func() any
 }
+
+// SetAdmitStats installs a snapshot hook whose value is reported as the
+// /statsz "admit" section — soprocd wires admit.Controller.Stats here
+// when admission control is enabled. Call before serving; a nil hook
+// (the default) omits the section.
+func (s *Server) SetAdmitStats(fn func() any) { s.admitStats = fn }
 
 // SetStoreStats installs a snapshot hook whose value is reported as the
 // /statsz "store" section — soprocd -store wires store.Store.Stats
@@ -175,6 +193,10 @@ type StatsResponse struct {
 	// (store.Stats); present only when the daemon runs with -store.
 	Store   any `json:"store,omitempty"`
 	Cluster any `json:"cluster,omitempty"`
+	// Admit is the admission controller's counter snapshot
+	// (admit.Stats); present only when the daemon runs behind
+	// admit.Middleware.
+	Admit any `json:"admit,omitempty"`
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -200,6 +222,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.clusterStats != nil {
 		resp.Cluster = s.clusterStats()
+	}
+	if s.admitStats != nil {
+		resp.Admit = s.admitStats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -346,6 +371,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSweepBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// The cap fired before validation could: a structured 413
+			// tells the client the body limit rather than a generic
+			// decode failure.
+			admit.WriteError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("sweep request body exceeds %d bytes", tooBig.Limit), 0)
+			return
+		}
 		http.Error(w, "bad sweep request: "+err.Error(), http.StatusBadRequest)
 		return
 	}

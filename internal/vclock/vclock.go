@@ -1,0 +1,185 @@
+// Package vclock abstracts the wall clock behind an injectable
+// interface, so time-dependent logic — the cluster coordinator's
+// cooldowns, retry backoff, and batch windows, and the admission
+// controller's token buckets — can run against a deterministic fake in
+// tests instead of real sleeps. Production code takes a Clock and
+// defaults to System; tests inject a Fake and drive it with Advance.
+package vclock
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time surface the coordinator and admission controller
+// consume. System implements it over the runtime clock; Fake implements
+// it over a manually advanced virtual clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc runs f in its own goroutine once d has elapsed and
+	// returns a handle that can cancel the call.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Timer is the cancellation handle AfterFunc returns; Stop reports
+// whether it prevented the call from firing.
+type Timer interface {
+	// Stop cancels the pending call, reporting whether it was still
+	// pending.
+	Stop() bool
+}
+
+// System is the real clock: the zero value is ready to use and every
+// method delegates to package time.
+type System struct{}
+
+// Now implements Clock.
+func (System) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (System) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc implements Clock.
+func (System) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+// Sleep blocks until d elapses on clk or ctx is done, returning ctx's
+// error in the latter case — the context-aware sleep retry backoff
+// needs. A non-positive d returns immediately.
+func Sleep(ctx context.Context, clk Clock, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-clk.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Fake is a deterministic Clock for tests: time stands still until
+// Advance moves it, firing every timer whose deadline it reaches, in
+// deadline order. Construct with NewFake. A Fake is safe for concurrent
+// use.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	timers  []*fakeTimer
+	waiters []waiter
+}
+
+type fakeTimer struct {
+	when    time.Time
+	ch      chan time.Time // nil for AfterFunc timers
+	f       func()
+	stopped bool
+}
+
+type waiter struct {
+	n  int
+	ch chan struct{}
+}
+
+// Stop implements Timer.
+func (t *fakeTimer) Stop() bool {
+	t.stopped = true // armed timers are only fired under the Fake's lock
+	return true
+}
+
+// NewFake returns a fake clock reading start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	f.arm(&fakeTimer{ch: ch}, d)
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &fakeTimer{f: fn}
+	f.arm(t, d)
+	return t
+}
+
+func (f *Fake) arm(t *fakeTimer, d time.Duration) {
+	f.mu.Lock()
+	t.when = f.now.Add(d)
+	f.timers = append(f.timers, t)
+	for i := 0; i < len(f.waiters); {
+		if len(f.timers) >= f.waiters[i].n {
+			close(f.waiters[i].ch)
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			continue
+		}
+		i++
+	}
+	f.mu.Unlock()
+}
+
+// Advance moves the clock forward by d, firing due timers in deadline
+// order. Channel timers receive the fire time; AfterFunc functions run
+// synchronously on the calling goroutine, so when Advance returns every
+// due AfterFunc has completed.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var due []*fakeTimer
+	for i := 0; i < len(f.timers); {
+		t := f.timers[i]
+		if t.stopped || !t.when.After(now) {
+			if !t.stopped {
+				due = append(due, t)
+			}
+			f.timers = append(f.timers[:i], f.timers[i+1:]...)
+			continue
+		}
+		i++
+	}
+	sort.SliceStable(due, func(i, j int) bool { return due[i].when.Before(due[j].when) })
+	f.mu.Unlock()
+	for _, t := range due {
+		if t.ch != nil {
+			t.ch <- now
+		} else {
+			t.f()
+		}
+	}
+}
+
+// BlockUntil returns once at least n timers are armed on the clock —
+// how a test synchronizes with a goroutine that is about to sleep
+// before advancing time past it.
+func (f *Fake) BlockUntil(n int) {
+	f.mu.Lock()
+	if len(f.timers) >= n {
+		f.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	f.waiters = append(f.waiters, waiter{n: n, ch: ch})
+	f.mu.Unlock()
+	<-ch
+}
+
+// Timers reports how many timers are currently armed.
+func (f *Fake) Timers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.timers)
+}

@@ -1,0 +1,117 @@
+package vclock
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFakeNowAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if want := start.Add(3 * time.Second); !f.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeAfterFiresInOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var order []int
+	f.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	f.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	f.AfterFunc(5*time.Second, func() { order = append(order, 5) })
+	f.Advance(3 * time.Second)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("fired %v, want [1 2]", order)
+	}
+	f.Advance(2 * time.Second)
+	if len(order) != 3 || order[2] != 5 {
+		t.Fatalf("fired %v, want [1 2 5]", order)
+	}
+}
+
+func TestFakeAfterChannel(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case ts := <-ch:
+		if !ts.Equal(time.Unix(1, 0)) {
+			t.Fatalf("fired at %v, want 1s", ts)
+		}
+	default:
+		t.Fatal("After did not fire at its deadline")
+	}
+}
+
+func TestFakeStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	var fired atomic.Bool
+	tm := f.AfterFunc(time.Second, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop = false on a pending timer")
+	}
+	f.Advance(2 * time.Second)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestFakeBlockUntil(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-f.After(time.Second)
+	}()
+	f.BlockUntil(1) // returns only after the goroutine armed its timer
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("goroutine never woke after Advance")
+	}
+}
+
+func TestSleepContextCancelled(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- Sleep(ctx, f, time.Minute) }()
+	f.BlockUntil(1)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return on cancellation")
+	}
+	if err := Sleep(context.Background(), f, 0); err != nil {
+		t.Fatalf("zero-duration Sleep = %v", err)
+	}
+}
+
+func TestSystemClock(t *testing.T) {
+	var c Clock = System{}
+	before := time.Now()
+	if c.Now().Before(before) {
+		t.Fatal("System.Now went backwards")
+	}
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Hour, func() { fired.Store(true) })
+	if !tm.Stop() || fired.Load() {
+		t.Fatal("System.AfterFunc Stop failed")
+	}
+}
