@@ -176,7 +176,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *statsJSON != "" {
-		if err := writeStatsJSON(*statsJSON, eng, st); err != nil {
+		if err := writeStatsJSON(*statsJSON, eng, st, coord); err != nil {
 			fail(err)
 		}
 	}
@@ -196,8 +196,8 @@ func main() {
 		}
 		if coord != nil {
 			cs := coord.Stats()
-			fmt.Fprintf(os.Stderr, "soproc: cluster: %d routed in %d posts, %d failovers, %d local fallbacks, %d unroutable\n",
-				cs.Routed, cs.Posts, cs.Failovers, cs.LocalFallbacks, cs.Unroutable)
+			fmt.Fprintf(os.Stderr, "soproc: cluster: %d routed in %d posts, %d failovers, %d rejects, %d local fallbacks, %d unroutable\n",
+				cs.Routed, cs.Posts, cs.Failovers, cs.Rejects, cs.LocalFallbacks, cs.Unroutable)
 			for _, p := range cs.Peers {
 				fmt.Fprintf(os.Stderr, "soproc:   %s: %d points, %d failures\n", p.Addr, p.Sent, p.Failures)
 			}
@@ -205,11 +205,13 @@ func main() {
 	}
 }
 
-// writeStatsJSON dumps the run's engine (and, with -store, store)
-// counters as JSON — the machine-readable form CI asserts on: a
-// disk-warm run must show engine.misses == 0 while store.disk_hits
-// covers every simulator point.
-func writeStatsJSON(path string, eng *exp.Engine, st *store.Store) error {
+// writeStatsJSON dumps the run's engine (and, with -store, store; with
+// -peers, cluster) counters as JSON — the machine-readable form CI
+// asserts on: a disk-warm run must show engine.misses == 0 while
+// store.disk_hits covers every simulator point, and a clustered run
+// must show cluster.unroutable == 0 with engine.remote > 0 (every
+// point representable on the wire and computed on a replica).
+func writeStatsJSON(path string, eng *exp.Engine, st *store.Store, coord *cluster.Coordinator) error {
 	es := eng.Stats()
 	var dump struct {
 		Engine struct {
@@ -218,7 +220,8 @@ func writeStatsJSON(path string, eng *exp.Engine, st *store.Store) error {
 			StoreHits int64 `json:"store_hits"`
 			Remote    int64 `json:"remote"`
 		} `json:"engine"`
-		Store *store.Stats `json:"store,omitempty"`
+		Store   *store.Stats   `json:"store,omitempty"`
+		Cluster *cluster.Stats `json:"cluster,omitempty"`
 	}
 	dump.Engine.Hits = es.Hits
 	dump.Engine.Misses = es.Misses
@@ -227,6 +230,10 @@ func writeStatsJSON(path string, eng *exp.Engine, st *store.Store) error {
 	if st != nil {
 		ss := st.Stats()
 		dump.Store = &ss
+	}
+	if coord != nil {
+		cs := coord.Stats()
+		dump.Cluster = &cs
 	}
 	data, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {

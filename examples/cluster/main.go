@@ -104,8 +104,14 @@ func main() {
 	fmt.Printf("  cluster %s, single-node %s\n\n", clusterTime.Round(time.Millisecond), localTime.Round(time.Millisecond))
 
 	st := coord.Stats()
-	fmt.Printf("coordinator: %d points routed in %d posts (%d unroutable ran locally)\n",
-		st.Routed, st.Posts, st.Unroutable)
+	if st.Unroutable != 0 || st.LocalFallbacks != 0 {
+		// The wire form carries every valid configuration, so a full
+		// regeneration — ch4's WireDelta pods and the extension studies
+		// included — must shard completely.
+		log.Fatalf("%d points were unroutable and %d fell back locally; every figure point must shard", st.Unroutable, st.LocalFallbacks)
+	}
+	fmt.Printf("coordinator: %d points routed in %d posts, every point representable on the wire\n",
+		st.Routed, st.Posts)
 	fmt.Println("memo spread (each replica owns a disjoint shard of the design space):")
 	for i, r := range reps {
 		es := r.eng.Stats()

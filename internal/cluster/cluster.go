@@ -5,9 +5,17 @@
 //
 // A Coordinator is an engine Route (exp.Route): installed on an engine
 // with SetRoute, it intercepts each memo miss whose point carries a
-// sim.Config or sim.StructuralConfig payload, converts it to the
-// /v1/sweep wire form (serve.WirePointSim/WirePointStructural), and
-// ships it to the replica that owns the point's canonical fingerprint.
+// wire-form payload (sim.WireConfig — the versioned, complete encoding
+// every engine point attaches via sim's WirePayload), wraps it in a
+// /v1/sweep complete-form point (serve.WirePoint), and ships it to the
+// replica that owns the point's canonical fingerprint. Because the wire
+// form carries the full interconnect and workload specification, every
+// point a figure can construct is routable — there is no symbolic
+// subset that silently computes on the coordinator. A point can still
+// be unroutable (an invalid configuration, or a payload type with no
+// wire form): that is counted, logged on first occurrence, and
+// declined to local compute, so representability regressions are
+// visible in /statsz rather than silent.
 // Ownership is rendezvous (highest-random-weight) hashing over the
 // fingerprint: every coordinator agrees on the owner without shared
 // state, each replica's memo accumulates a disjoint shard of the design
@@ -30,7 +38,12 @@
 // from a replica's admission controller is different: the replica is
 // shedding load, not dying, so the coordinator honors its Retry-After
 // hint (clamped between the backoff base and the cooldown) and never
-// marks it down. A replica in cooldown is probed actively
+// marks it down. A definitive 4xx other than 429 — most notably the
+// structured wire_version 400 from a replica that does not speak this
+// coordinator's wire encoding — is permanent for that replica: the same
+// bytes can never succeed there, so the point moves straight to the
+// next-ranked owner with no retry and no markDown (the replica is
+// healthy, just incompatible). A replica in cooldown is probed actively
 // (GET /healthz every WithProbeInterval) so it returns to rotation as
 // soon as it recovers rather than when the cooldown clock says so.
 // Every post carries a per-request timeout (WithPostTimeout) so one
@@ -53,6 +66,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -95,9 +109,18 @@ type Coordinator struct {
 	failovers  atomic.Int64 // points retried past their first-choice owner
 	fallbacks  atomic.Int64 // points declined because every replica failed
 	unroutable atomic.Int64 // points not representable on the wire
+	rejects    atomic.Int64 // permanent replica rejections (4xx other than 429)
 	posts      atomic.Int64 // /v1/sweep requests issued
 	retried    atomic.Int64 // same-replica re-attempts after transient failures
 	busy       atomic.Int64 // 429 responses honored (replica shedding load)
+
+	// Silent degradation is the failure mode this PR class exists to
+	// kill: the first unroutable point, permanent rejection, and local
+	// fallback of a coordinator's lifetime are each logged once, so a
+	// run that quietly stopped sharding says why.
+	logUnroutable sync.Once
+	logReject     sync.Once
+	logFallback   sync.Once
 }
 
 // Option configures a Coordinator at construction.
@@ -273,33 +296,63 @@ func (e *busyError) Error() string {
 	return fmt.Sprintf("cluster: %s shedding load (retry after %s)", e.replica, e.retryAfter)
 }
 
-// Route implements exp.Route: it ships a sim.Config or
-// sim.StructuralConfig payload to the replica owning key — retrying
-// transient failures on the same replica under the bounded backoff
-// budget, honoring 429 Retry-After hints, and failing over in
-// rendezvous order — and declines (handled=false) payloads it cannot
-// represent on the wire or deliver to any replica; the engine then
-// computes them locally with identical results.
-func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, bool, error) {
-	var (
-		wire serve.SweepPoint
-		ok   bool
-		kind string
-	)
-	switch cfg := payload.(type) {
-	case sim.Config:
-		wire, ok = serve.WirePointSim(cfg)
-		kind = "sim"
-	case sim.StructuralConfig:
-		wire, ok = serve.WirePointStructural(cfg)
-		kind = "structural"
-	default:
-		ok = false
+// rejectError is a replica's definitive 4xx other than 429: the request
+// itself was refused — most notably a wire_version this replica does
+// not speak — so retrying the same bytes cannot succeed, and the
+// replica is compatible-unhealthy rather than down. The coordinator
+// moves to the next candidate with no retry and no markDown.
+type rejectError struct {
+	replica     string
+	status      string
+	msg         string
+	wireVersion int // non-zero when the replica reported a wire_version mismatch
+}
+
+func (e *rejectError) Error() string {
+	if e.wireVersion != 0 {
+		return fmt.Sprintf("cluster: %s rejected wire_version %d: %s", e.replica, e.wireVersion, e.msg)
 	}
-	if !ok {
-		c.unroutable.Add(1)
+	return fmt.Sprintf("cluster: %s rejected request: %s: %s", e.replica, e.status, e.msg)
+}
+
+// declineUnroutable counts an unroutable point, logs the first
+// occurrence of a coordinator's lifetime, and leaves the point to local
+// compute.
+func (c *Coordinator) declineUnroutable(key string, err error) {
+	c.unroutable.Add(1)
+	c.logUnroutable.Do(func() {
+		log.Printf("cluster: unroutable point (computing locally; first occurrence, key %s): %v", key, err)
+	})
+}
+
+// Route implements exp.Route: it ships a wire-form payload
+// (sim.WireConfig) to the replica owning key — retrying transient
+// failures on the same replica under the bounded backoff budget,
+// honoring 429 Retry-After hints, treating definitive 4xx rejections
+// (wire-version mismatches included) as permanent per replica, and
+// failing over in rendezvous order — and declines (handled=false)
+// payloads that carry no wire form (sim.Unroutable markers, foreign
+// types) or that no replica would take; the engine then computes them
+// locally with identical results. Every decline is counted, and the
+// first of each kind per run is logged.
+func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, bool, error) {
+	var wc sim.WireConfig
+	switch p := payload.(type) {
+	case sim.WireConfig:
+		wc = p
+	case sim.Unroutable:
+		c.declineUnroutable(key, p.Err)
+		return nil, false, nil
+	default:
+		c.declineUnroutable(key, fmt.Errorf("payload type %T has no wire form", payload))
 		return nil, false, nil
 	}
+	wire, err := serve.WirePoint(wc)
+	if err != nil {
+		c.declineUnroutable(key, err)
+		return nil, false, nil
+	}
+	kind := wc.Kind
 
 	// Candidate order: healthy replicas in rendezvous rank, then — as a
 	// last resort, if the whole cluster looks down, an attempt is still
@@ -339,6 +392,18 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 				// replica failure, and the engine withdraws the entry.
 				return nil, true, ctx.Err()
 			}
+			var re *rejectError
+			if errors.As(err, &re) {
+				// The replica refused the request outright; the same
+				// bytes cannot succeed there, so spill straight to the
+				// next-ranked owner — no retry, and no markDown, because
+				// an incompatible replica is not a dead one.
+				c.rejects.Add(1)
+				c.logReject.Do(func() {
+					log.Printf("cluster: permanent rejection (first occurrence, key %s): %v", key, re)
+				})
+				break
+			}
 			var be *busyError
 			if errors.As(err, &be) {
 				// The replica shed the batch: healthy but saturated.
@@ -367,6 +432,9 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 		}
 	}
 	c.fallbacks.Add(1)
+	c.logFallback.Do(func() {
+		log.Printf("cluster: every replica failed or rejected key %s; computing locally (first occurrence)", key)
+	})
 	return nil, false, nil
 }
 
@@ -639,6 +707,21 @@ func (c *Coordinator) post(ctx context.Context, rep *replica, points []serve.Swe
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
 		return nil, &busyError{replica: rep.addr, retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		// A definitive client-error rejection: retrying the same bytes
+		// cannot succeed. When the body is the structured wire-version
+		// 400 (serve.WireVersionErrorResponse), surface the version so
+		// the mismatch is diagnosable from the coordinator's log alone.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		re := &rejectError{replica: rep.addr, status: resp.Status, msg: strings.TrimSpace(string(msg))}
+		var body struct {
+			WireVersion int `json:"wire_version"`
+		}
+		if json.Unmarshal(msg, &body) == nil {
+			re.wireVersion = body.WireVersion
+		}
+		return nil, re
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("cluster: %s: %s: %s", rep.addr, resp.Status, strings.TrimSpace(string(msg)))
@@ -688,10 +771,17 @@ type Stats struct {
 	Retries int64 `json:"retries"`
 	Busy    int64 `json:"busy"`
 	// LocalFallbacks counts points computed locally because every
-	// replica failed; Unroutable those whose configuration the wire
-	// cannot represent (always computed locally).
+	// replica failed or rejected them; Unroutable those whose payload
+	// could not be converted to the wire form at all (always computed
+	// locally). With the complete wire encoding both should be zero in
+	// a healthy cluster — the first occurrence of each per run is also
+	// logged, and CI asserts unroutable == 0 across the figure suite.
 	LocalFallbacks int64 `json:"local_fallbacks"`
 	Unroutable     int64 `json:"unroutable"`
+	// Rejects counts permanent per-replica rejections (a definitive
+	// 4xx other than 429, e.g. a wire_version the replica does not
+	// speak): no retry, no markDown, straight to the next owner.
+	Rejects int64 `json:"rejects"`
 	// Posts counts /v1/sweep requests issued — Routed/Posts is the
 	// batching factor.
 	Posts int64 `json:"posts"`
@@ -721,6 +811,7 @@ func (c *Coordinator) Stats() Stats {
 		Busy:           c.busy.Load(),
 		LocalFallbacks: c.fallbacks.Load(),
 		Unroutable:     c.unroutable.Load(),
+		Rejects:        c.rejects.Load(),
 		Posts:          c.posts.Load(),
 	}
 	for _, rep := range c.replicas {

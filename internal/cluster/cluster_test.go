@@ -305,35 +305,171 @@ func TestRendezvousRedistribution(t *testing.T) {
 	}
 }
 
-// TestClusterUnroutableFallsBack: a configuration the wire cannot carry
-// is computed locally, with identical results, and counted.
-func TestClusterUnroutableFallsBack(t *testing.T) {
+// TestClusterWireDeltaRoutes: the configurations the legacy symbolic
+// wire form silently computed on the coordinator — WireDelta meshes,
+// express-linked NOC-Out, perturbed workloads — now route to replicas
+// like any other point, byte-identically.
+func TestClusterWireDeltaRoutes(t *testing.T) {
 	reps, coord, eng := startCluster(t, 2)
 	w, _ := workload.ByName(workload.Names()[0])
 	net := noc.New(noc.Mesh, 8)
-	net.WireDelta = -0.5 // 3D-stacked variant: not expressible in /v1/sweep
-	cfg := sim.Config{Workload: w, CoreType: tech.OoO, Cores: 8, LLCMB: 2, Net: net,
-		WarmupCycles: 500, MeasureCycles: 1000}
+	net.WireDelta = -0.25 * net.OneWayLatency() // the ch4 3D-stacked variant
+	nocOut := noc.New(noc.NOCOut, 8)
+	nocOut.Concentration = 2
+	nocOut.ExpressLinks = true
+	perturbed := w
+	perturbed.APKI *= 1.5 // not a suite entry
+	cfgs := []sim.Config{
+		{Workload: w, CoreType: tech.OoO, Cores: 8, LLCMB: 2, Net: net,
+			WarmupCycles: 500, MeasureCycles: 1000},
+		{Workload: w, CoreType: tech.OoO, Cores: 8, LLCMB: 2, Net: nocOut,
+			WarmupCycles: 500, MeasureCycles: 1000},
+		{Workload: perturbed, CoreType: tech.OoO, Cores: 8, LLCMB: 2,
+			WarmupCycles: 500, MeasureCycles: 1000},
+	}
 
 	ctx := exp.WithEngine(context.Background(), eng)
-	got, err := exp.Sims(ctx, []sim.Config{cfg})
+	got, err := exp.Sims(ctx, cfgs)
 	if err != nil {
 		t.Fatalf("Sims: %v", err)
 	}
-	want, err := sim.Run(cfg)
-	if err != nil || !reflect.DeepEqual(got[0], want) {
-		t.Fatalf("local fallback result differs: %v", err)
+	for i, cfg := range cfgs {
+		want, err := sim.Run(cfg)
+		if err != nil || !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("point %d: routed result differs: %v", i, err)
+		}
 	}
-	if st := coord.Stats(); st.Unroutable != 1 || st.Routed != 0 {
-		t.Fatalf("stats = %+v, want 1 unroutable, 0 routed", st)
+	if st := coord.Stats(); st.Unroutable != 0 || st.Routed != int64(len(cfgs)) {
+		t.Fatalf("stats = %+v, want %d routed and 0 unroutable", st, len(cfgs))
+	}
+	var replicaMisses int64
+	for _, rep := range reps {
+		replicaMisses += rep.statsz(t).Memo.Misses
+	}
+	if replicaMisses != int64(len(cfgs)) {
+		t.Fatalf("replicas computed %d points, want %d", replicaMisses, len(cfgs))
+	}
+	if est := eng.Stats(); est.Misses != 0 {
+		t.Fatalf("engine stats = %+v, want nothing computed locally", est)
+	}
+}
+
+// TestClusterUnroutableFallsBack: a point whose payload has no wire
+// form — an invalid configuration's Unroutable marker, or a foreign
+// payload type — is computed locally, with identical accounting, and
+// never reaches a replica.
+func TestClusterUnroutableFallsBack(t *testing.T) {
+	reps, coord, _ := startCluster(t, 2)
+	w, _ := workload.ByName(workload.Names()[0])
+	invalid := sim.Config{Workload: w, CoreType: tech.OoO, Cores: 0, LLCMB: 2}
+	if _, ok := invalid.WirePayload().(sim.Unroutable); !ok {
+		t.Fatalf("WirePayload of an invalid config = %T, want sim.Unroutable", invalid.WirePayload())
+	}
+	if _, handled, err := coord.Route(context.Background(), invalid.Key(), invalid.WirePayload()); handled || err != nil {
+		t.Fatalf("Route(unroutable) = handled %v, err %v; want declined", handled, err)
+	}
+	if _, handled, err := coord.Route(context.Background(), "k", "not a wire payload"); handled || err != nil {
+		t.Fatalf("Route(foreign payload) = handled %v, err %v; want declined", handled, err)
+	}
+	if st := coord.Stats(); st.Unroutable != 2 || st.Routed != 0 || st.LocalFallbacks != 0 {
+		t.Fatalf("stats = %+v, want 2 unroutable, 0 routed, 0 fallbacks", st)
 	}
 	for _, rep := range reps {
 		if m := rep.statsz(t).Memo.Misses; m != 0 {
-			t.Fatalf("replica computed %d points for an unroutable sweep", m)
+			t.Fatalf("replica computed %d points for an unroutable payload", m)
 		}
 	}
-	if est := eng.Stats(); est.Misses != 1 {
-		t.Fatalf("engine stats = %+v, want the point computed locally", est)
+}
+
+// TestClusterFormerlyUnroutableFiguresByteIdentical: ch4 (whose
+// scale-limited pods carry WireDelta interconnects) and the extensions
+// structural study — the generators the legacy wire form could never
+// shard — render byte-identically through a 3-replica cluster with
+// zero representability fallbacks.
+func TestClusterFormerlyUnroutableFiguresByteIdentical(t *testing.T) {
+	_, coord, eng := startCluster(t, 3)
+	for _, id := range []string{"fig4.3", "ext.structural"} {
+		clustered, err := figures.RunContext(exp.WithEngine(context.Background(), eng), id)
+		if err != nil {
+			t.Fatalf("%s clustered run: %v", id, err)
+		}
+		local, err := figures.RunContext(exp.WithEngine(context.Background(), exp.New(0)), id)
+		if err != nil {
+			t.Fatalf("%s local run: %v", id, err)
+		}
+		if clustered.String() != local.String() {
+			t.Fatalf("%s differs:\ncluster:\n%s\nlocal:\n%s", id, clustered.String(), local.String())
+		}
+	}
+	st := coord.Stats()
+	if st.Unroutable != 0 || st.LocalFallbacks != 0 {
+		t.Fatalf("stats = %+v, want zero unroutable and zero fallbacks", st)
+	}
+	if st.Routed == 0 {
+		t.Fatal("formerly-unroutable figures routed nothing")
+	}
+	if est := eng.Stats(); est.Remote != st.Routed {
+		t.Fatalf("engine remote %d != routed %d: some points computed locally", est.Remote, st.Routed)
+	}
+}
+
+// TestWireVersionRejectIsPermanent: a replica that does not speak this
+// coordinator's wire version answers with the structured 400; the
+// coordinator must treat it as permanent — no same-replica retry, no
+// markDown — fail over, and still produce the correct result from a
+// compatible replica (or locally when none exists).
+func TestWireVersionRejectIsPermanent(t *testing.T) {
+	var rejects atomic.Int64
+	rejecting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/sweep" {
+			rejects.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, `{"error": "point 0: unsupported wire_version", "wire_version": %d, "supported_wire_version": 99}`, sim.WireVersion)
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(rejecting.Close)
+	compatible := startReplica(t, nil)
+
+	coord, err := New([]string{rejecting.URL, compatible.addr()},
+		WithBatchWindow(0), WithRetries(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a config the rejecting replica owns, so the reject path runs
+	// before failover reaches the compatible replica.
+	var cfg sim.Config
+	for _, c := range testConfigs(24) {
+		if coord.rank(c.Key())[0].base == rejecting.URL {
+			cfg = c
+			break
+		}
+	}
+	if cfg.Cores == 0 {
+		t.Fatal("no test config ranks the rejecting replica first")
+	}
+
+	val, handled, err := coord.Route(context.Background(), cfg.Key(), cfg.WirePayload())
+	if err != nil || !handled {
+		t.Fatalf("Route = handled %v, err %v; want failover to the compatible replica", handled, err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil || !reflect.DeepEqual(val, want) {
+		t.Fatalf("failover result differs: %v", err)
+	}
+	st := coord.Stats()
+	if rejects.Load() != 1 || st.Retries != 0 {
+		t.Fatalf("rejecting replica saw %d posts (%d retries), want exactly 1 and none: rejection must not be retried", rejects.Load(), st.Retries)
+	}
+	if st.Rejects != 1 || st.Failovers != 1 || st.LocalFallbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 reject, 1 failover, 0 fallbacks", st)
+	}
+	for _, p := range st.Peers {
+		if p.Addr == rejecting.URL && p.Down {
+			t.Fatal("incompatible replica marked down; rejection is not unhealth")
+		}
 	}
 }
 
@@ -463,7 +599,7 @@ func TestRouteAttemptsEachReplicaOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := testConfigs(1)[0]
-	_, handled, rerr := coord.Route(context.Background(), cfg.Key(), cfg)
+	_, handled, rerr := coord.Route(context.Background(), cfg.Key(), cfg.WirePayload())
 	if handled || rerr != nil {
 		t.Fatalf("Route = handled %v, err %v; want declined", handled, rerr)
 	}
@@ -480,9 +616,13 @@ func TestRouteAttemptsEachReplicaOnce(t *testing.T) {
 
 func mustWire(t *testing.T, cfg sim.Config) []serve.SweepPoint {
 	t.Helper()
-	p, ok := serve.WirePointSim(cfg)
-	if !ok {
-		t.Fatal("config not wire-representable")
+	wc, err := cfg.Wire()
+	if err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	p, err := serve.WirePoint(wc)
+	if err != nil {
+		t.Fatalf("WirePoint: %v", err)
 	}
 	return []serve.SweepPoint{p}
 }

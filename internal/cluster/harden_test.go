@@ -16,7 +16,7 @@ import (
 // routeOnce drives one point through coord.Route, returning its result.
 func routeOnce(t *testing.T, coord *Coordinator, cfg sim.Config) (any, bool, error) {
 	t.Helper()
-	return coord.Route(context.Background(), cfg.Key(), cfg)
+	return coord.Route(context.Background(), cfg.Key(), cfg.WirePayload())
 }
 
 // waitUntil polls cond without fixed sleeps; it exists for the few

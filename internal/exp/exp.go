@@ -117,36 +117,43 @@ type Routable interface {
 	RoutePayload() any
 }
 
-// SimPoint runs the cycle-level simulator on one configuration.
-type SimPoint struct{ Config sim.Config }
-
-// Key fingerprints the defaults-applied configuration (sim.Config.Key),
-// so two Configs that differ only in fields the simulator would default
-// identically (e.g. an explicit crossbar vs the zero-value default)
-// share a key.
-func (p SimPoint) Key() string { return p.Config.Key() }
-
-// Compute runs the simulation.
-func (p SimPoint) Compute() (sim.Result, error) { return sim.Run(p.Config) }
-
-// RoutePayload returns the configuration, so a cluster router can ship
-// the point to the replica owning its fingerprint.
-func (p SimPoint) RoutePayload() any { return p.Config }
-
-// StructuralPoint runs the structural simulator on one configuration.
-type StructuralPoint struct{ Config sim.StructuralConfig }
-
-// Key fingerprints the defaults-applied configuration.
-func (p StructuralPoint) Key() string { return p.Config.Key() }
-
-// Compute runs the structural simulation.
-func (p StructuralPoint) Compute() (sim.StructuralResult, error) {
-	return sim.RunStructural(p.Config)
+// SimulatorConfig is the contract a configuration type meets to run as
+// a SimulatorPoint: canonical fingerprinting (Key), a self-describing
+// wire payload for cluster routing (WirePayload), and the simulation
+// itself (Run). Both sim.Config and sim.StructuralConfig satisfy it.
+type SimulatorConfig[R any] interface {
+	Key() string
+	WirePayload() any
+	Run() (R, error)
 }
 
-// RoutePayload returns the configuration, so a cluster router can ship
-// the point to the replica owning its fingerprint.
-func (p StructuralPoint) RoutePayload() any { return p.Config }
+// SimulatorPoint is the one engine point for every simulator kind —
+// the generic form behind SimPoint and StructuralPoint. Its key is the
+// defaults-applied configuration's canonical fingerprint, so two
+// configurations that differ only in fields the simulator would default
+// identically (e.g. an explicit crossbar vs the zero-value default)
+// share a key.
+type SimulatorPoint[R any, C SimulatorConfig[R]] struct{ Config C }
+
+// Key fingerprints the defaults-applied configuration.
+func (p SimulatorPoint[R, C]) Key() string { return p.Config.Key() }
+
+// Compute runs the simulation.
+func (p SimulatorPoint[R, C]) Compute() (R, error) { return p.Config.Run() }
+
+// RoutePayload returns the configuration's versioned wire form
+// (sim.WireConfig) — the single representation a cluster coordinator
+// ships to the replica owning the key — or a sim.Unroutable marker when
+// the configuration cannot be encoded, so the coordinator can count the
+// decline instead of it vanishing into a nil payload.
+func (p SimulatorPoint[R, C]) RoutePayload() any { return p.Config.WirePayload() }
+
+// SimPoint runs the cycle-level statistical simulator on one
+// configuration.
+type SimPoint = SimulatorPoint[sim.Result, sim.Config]
+
+// StructuralPoint runs the structural simulator on one configuration.
+type StructuralPoint = SimulatorPoint[sim.StructuralResult, sim.StructuralConfig]
 
 // Func adapts an arbitrary deterministic computation — an analytic-model
 // evaluation, a chip composition, a TCO build — into a Point. K must

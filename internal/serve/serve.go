@@ -293,13 +293,22 @@ func (s *Server) handleExp(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// SweepPoint is one ad-hoc simulation request in a /v1/sweep batch. A
-// point names its workload and core type symbolically; the server
-// resolves them against the calibrated models, applies the simulator's
-// usual defaults, and memoizes by the same canonical fingerprint the
-// experiment generators use — a point shared with a figure sweep is a
-// cache hit.
+// SweepPoint is one ad-hoc simulation request in a /v1/sweep batch, in
+// one of two forms. The human-friendly short form names its workload
+// and core type symbolically; the server resolves them against the
+// calibrated models and applies the simulator's usual defaults. The
+// complete form carries a versioned wire object (sim.WireConfig) in
+// Config instead — every field the simulators consume, including
+// interconnect and workload parameters the short form cannot express —
+// and is what a cluster coordinator forwards. Either way the point is
+// memoized by the same canonical fingerprint the experiment generators
+// use, so a point shared with a figure sweep is a cache hit.
 type SweepPoint struct {
+	// Config, when present, is the complete wire-form configuration
+	// (sim.WireConfig JSON, wire_version checked first); every symbolic
+	// field below must then be unset. Build one with WirePoint.
+	Config json.RawMessage `json:"config,omitempty"`
+
 	// Kind selects the simulator: "sim" (statistical, the default) or
 	// "structural".
 	Kind string `json:"kind,omitempty"`
@@ -345,6 +354,17 @@ type SweepPoint struct {
 type SweepRequest struct {
 	Tier   string       `json:"tier,omitempty"`
 	Points []SweepPoint `json:"points"`
+}
+
+// WireVersionErrorResponse is the structured 400 body for a "config"
+// wire object whose wire_version this daemon does not speak: the
+// offending version, and the one supported here. A cluster coordinator
+// keys on the wire_version field to classify the rejection as permanent
+// (no retry, no markDown) rather than a replica failure.
+type WireVersionErrorResponse struct {
+	Error       string `json:"error"`
+	WireVersion int    `json:"wire_version"`
+	Supported   int    `json:"supported_wire_version"`
 }
 
 // SweepResult is one point's outcome, in input order; exactly one of
@@ -410,6 +430,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Points {
 		kind, cfg, err := p.config()
 		if err != nil {
+			var ve *sim.WireVersionError
+			if errors.As(err, &ve) {
+				// Version negotiation is structured so a coordinator can
+				// tell "this replica does not speak my wire version"
+				// (permanent, try another replica) from a transient
+				// failure it should retry.
+				writeJSON(w, http.StatusBadRequest, WireVersionErrorResponse{
+					Error:       fmt.Sprintf("point %d: %v", i, err),
+					WireVersion: ve.Version,
+					Supported:   sim.WireVersion,
+				})
+				return
+			}
 			http.Error(w, fmt.Sprintf("point %d: %v", i, err), http.StatusBadRequest)
 			return
 		}
@@ -480,9 +513,55 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// config resolves the symbolic request into a validated simulator
-// configuration — a sim.Config or sim.StructuralConfig matching kind.
+// WirePoint wraps a configuration's wire form in the SweepPoint that
+// carries it — the complete-form request a cluster coordinator POSTs to
+// a replica's /v1/sweep. Unlike the retired symbolic conversion, every
+// valid configuration is representable; the only error source is JSON
+// marshalling itself.
+func WirePoint(wc sim.WireConfig) (SweepPoint, error) {
+	raw, err := json.Marshal(wc)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{Config: raw}, nil
+}
+
+// legacyEmpty reports whether every symbolic short-form field is unset,
+// so a point carrying a "config" wire object is unambiguous.
+func (p SweepPoint) legacyEmpty() bool {
+	return p.Kind == "" && p.Workload == "" && p.Core == "" && p.Cores == 0 &&
+		p.LLCMB == 0 && p.Net == "" && p.LLCTiles == 0 && p.LinkBits == 0 &&
+		p.MemChannels == 0 && p.WarmupCycles == 0 && p.MeasureCycles == 0 &&
+		p.Seed == 0 && !p.DisableSWScaling && p.L1MSHRs == 0
+}
+
+// config resolves the request into a validated simulator configuration
+// — a sim.Config or sim.StructuralConfig matching kind. A "config"
+// wire object is decoded with its version checked first
+// (*sim.WireVersionError on mismatch); otherwise the symbolic short
+// form is resolved against the calibrated models.
 func (p SweepPoint) config() (kind string, cfg any, err error) {
+	if len(p.Config) > 0 {
+		if !p.legacyEmpty() {
+			return "", nil, fmt.Errorf("config cannot be combined with the symbolic short-form fields")
+		}
+		wc, err := sim.UnmarshalWire(p.Config)
+		if err != nil {
+			return "", nil, err
+		}
+		c, err := wc.Decode()
+		if err != nil {
+			return "", nil, err
+		}
+		switch c.(type) {
+		case sim.Config:
+			return "sim", c, nil
+		case sim.StructuralConfig:
+			return "structural", c, nil
+		default:
+			return "", nil, fmt.Errorf("unsupported wire config type %T", c)
+		}
+	}
 	w, ok := workload.ByName(p.Workload)
 	if !ok {
 		return "", nil, fmt.Errorf("unknown workload %q (want one of: %s)",
@@ -527,29 +606,6 @@ func (p SweepPoint) config() (kind string, cfg any, err error) {
 		return "structural", c, nil
 	default:
 		return "", nil, fmt.Errorf("unknown kind %q (want sim or structural)", p.Kind)
-	}
-}
-
-// point resolves the symbolic request into a typed engine point keyed
-// by the configuration's canonical fingerprint. The payload makes the
-// point routable: a coordinator daemon re-shards ad-hoc sweep points to
-// the replicas owning them.
-func (p SweepPoint) point() (kind string, _ exp.Point[any], err error) {
-	kind, c, err := p.config()
-	if err != nil {
-		return "", nil, err
-	}
-	switch cfg := c.(type) {
-	case sim.Config:
-		return kind, exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
-			return sim.Run(cfg)
-		}}, nil
-	case sim.StructuralConfig:
-		return kind, exp.Func[any]{K: cfg.Key(), P: cfg, F: func() (any, error) {
-			return sim.RunStructural(cfg)
-		}}, nil
-	default:
-		return "", nil, fmt.Errorf("unsupported config type %T", c)
 	}
 }
 

@@ -1,6 +1,10 @@
 package serve
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
 	"testing"
 
 	"scaleout/internal/noc"
@@ -18,11 +22,19 @@ func suiteWorkload(t *testing.T, name string) workload.Workload {
 	return w
 }
 
-// TestWirePointRoundTrip: every wire-representable configuration must
-// convert to a SweepPoint that re-resolves to the exact memo key — the
+// TestWirePointRoundTrip: every valid configuration — including the
+// shapes the retired symbolic form declined — converts to a SweepPoint
+// whose "config" object re-resolves to the exact memo key, the
 // invariant that keeps cluster results byte-identical.
 func TestWirePointRoundTrip(t *testing.T) {
 	w := suiteWorkload(t, workload.Names()[0])
+	delta := noc.New(noc.Mesh, 16)
+	delta.WireDelta = -0.25 * delta.OneWayLatency()
+	express := noc.New(noc.NOCOut, 16)
+	express.Concentration = 2
+	express.ExpressLinks = true
+	perturbed := w
+	perturbed.APKI *= 1.5
 	nets := []noc.Config{
 		{}, // zero: simulator defaults to crossbar
 		noc.New(noc.Ideal, 16),
@@ -32,76 +44,181 @@ func TestWirePointRoundTrip(t *testing.T) {
 		noc.New(noc.NOCOut, 16),
 		noc.New(noc.NOCOut, 16).WithLinkBits(64),
 		noc.New(noc.Mesh, 16).WithLinkBits(256),
+		delta,
+		express,
 	}
 	for i, net := range nets {
 		cfg := sim.Config{
 			Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4, Net: net,
 			WarmupCycles: 500, MeasureCycles: 1000,
 		}
-		p, ok := WirePointSim(cfg)
-		if !ok {
-			t.Fatalf("net[%d] %v: WirePointSim declined", i, net.Kind)
-		}
-		_, pt, err := p.point()
+		wc, err := cfg.Wire()
 		if err != nil {
-			t.Fatalf("net[%d]: round-trip resolve: %v", i, err)
+			t.Fatalf("net[%d] %v: Wire: %v", i, net.Kind, err)
 		}
-		if pt.Key() != cfg.Key() {
-			t.Fatalf("net[%d]: round-trip key mismatch:\n got %s\nwant %s", i, pt.Key(), cfg.Key())
+		p, err := WirePoint(wc)
+		if err != nil {
+			t.Fatalf("net[%d]: WirePoint: %v", i, err)
 		}
+		kind, dec, err := p.config()
+		if err != nil || kind != "sim" {
+			t.Fatalf("net[%d]: round-trip resolve: kind %q, err %v", i, kind, err)
+		}
+		if dec.(sim.Config).Key() != cfg.Key() {
+			t.Fatalf("net[%d]: round-trip key mismatch:\n got %s\nwant %s", i, dec.(sim.Config).Key(), cfg.Key())
+		}
+	}
+
+	// A perturbed, non-suite workload rides the wire too.
+	mod := sim.Config{Workload: perturbed, CoreType: tech.OoO, Cores: 16, LLCMB: 4}
+	wc, err := mod.Wire()
+	if err != nil {
+		t.Fatalf("perturbed Wire: %v", err)
+	}
+	p, err := WirePoint(wc)
+	if err != nil {
+		t.Fatalf("perturbed WirePoint: %v", err)
+	}
+	if _, dec, err := p.config(); err != nil || dec.(sim.Config).Key() != mod.Key() {
+		t.Fatalf("perturbed round-trip failed: %v", err)
 	}
 
 	scfg := sim.StructuralConfig{
 		Workload: w, CoreType: tech.Conventional, Cores: 8, LLCMB: 2,
 		L1MSHRs: 16, Seed: 3,
 	}
-	p, ok := WirePointStructural(scfg)
-	if !ok {
-		t.Fatal("WirePointStructural declined a representable config")
+	swc, err := scfg.Wire()
+	if err != nil {
+		t.Fatalf("structural Wire: %v", err)
 	}
-	kind, pt, err := p.point()
+	sp, err := WirePoint(swc)
+	if err != nil {
+		t.Fatalf("structural WirePoint: %v", err)
+	}
+	kind, dec, err := sp.config()
 	if err != nil || kind != "structural" {
-		t.Fatalf("round-trip resolve: kind %q, err %v", kind, err)
+		t.Fatalf("structural round-trip resolve: kind %q, err %v", kind, err)
 	}
-	if pt.Key() != scfg.Key() {
-		t.Fatalf("structural round-trip key mismatch:\n got %s\nwant %s", pt.Key(), scfg.Key())
+	if dec.(sim.StructuralConfig).Key() != scfg.Key() {
+		t.Fatalf("structural round-trip key mismatch:\n got %s\nwant %s",
+			dec.(sim.StructuralConfig).Key(), scfg.Key())
 	}
 }
 
-// TestWirePointDeclinesUnrepresentable: configurations the sweep API
-// cannot carry must be declined, never approximated.
-func TestWirePointDeclinesUnrepresentable(t *testing.T) {
-	w := suiteWorkload(t, workload.Names()[0])
-	base := sim.Config{Workload: w, CoreType: tech.OoO, Cores: 16, LLCMB: 4}
+// TestSweepWireEqualsLegacy: the same point expressed in the wire form
+// and the legacy symbolic short form returns byte-identical results
+// through a live /v1/sweep.
+func TestSweepWireEqualsLegacy(t *testing.T) {
+	srv := httptest.NewServer(New(nil))
+	t.Cleanup(srv.Close)
 
-	wireDelta := base
-	net := noc.New(noc.Mesh, 16)
-	net.WireDelta = -0.5
-	wireDelta.Net = net
+	cfg := sim.Config{
+		Workload: suiteWorkload(t, workload.Names()[0]), CoreType: tech.OoO,
+		Cores: 8, LLCMB: 2, WarmupCycles: 500, MeasureCycles: 1000,
+	}
+	wc, err := cfg.Wire()
+	if err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	wirePt, err := WirePoint(wc)
+	if err != nil {
+		t.Fatalf("WirePoint: %v", err)
+	}
+	legacyPt := SweepPoint{
+		Workload: cfg.Workload.Name, Core: "ooo", Cores: 8, LLCMB: 2,
+		WarmupCycles: 500, MeasureCycles: 1000,
+	}
 
-	express := base
-	net2 := noc.New(noc.NOCOut, 16)
-	net2.ExpressLinks = true
-	express.Net = net2
-
-	tileEdge := base
-	net3 := noc.New(noc.Mesh, 16)
-	net3.TileEdge = 2.5
-	tileEdge.Net = net3
-
-	modified := base
-	modified.Workload.APKI *= 1.5 // not the calibrated suite entry
-
-	invalid := base
-	invalid.Cores = 0
-
-	for name, cfg := range map[string]sim.Config{
-		"wire-delta": wireDelta, "express-links": express,
-		"tile-edge": tileEdge, "modified-workload": modified,
-		"invalid": invalid,
-	} {
-		if _, ok := WirePointSim(cfg); ok {
-			t.Errorf("%s: WirePointSim accepted an unrepresentable config", name)
+	var bodies [2]string
+	for i, pt := range []SweepPoint{wirePt, legacyPt} {
+		status, body := postSweep(t, srv.URL, SweepRequest{Points: []SweepPoint{pt}})
+		if status != http.StatusOK {
+			t.Fatalf("form %d: status %d: %s", i, status, body)
 		}
+		bodies[i] = body
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("wire and legacy responses differ:\nwire:   %s\nlegacy: %s", bodies[0], bodies[1])
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal([]byte(bodies[0]), &sr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want, err := sim.Run(cfg)
+	if err != nil || sr.Results[0].Sim == nil || !reflect.DeepEqual(*sr.Results[0].Sim, want) {
+		t.Fatalf("sweep result differs from direct Run: %v", err)
+	}
+}
+
+// TestSweepWireVersionMismatch: an unknown wire_version draws the
+// structured 400 with the offending and supported versions — the body
+// a coordinator keys on to classify the reject as permanent.
+func TestSweepWireVersionMismatch(t *testing.T) {
+	srv := httptest.NewServer(New(nil))
+	t.Cleanup(srv.Close)
+
+	status, body := postSweep(t, srv.URL, SweepRequest{Points: []SweepPoint{
+		{Config: json.RawMessage(`{"wire_version": 99, "field_from_the_future": true}`)},
+	}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, body)
+	}
+	var ver WireVersionErrorResponse
+	if err := json.Unmarshal([]byte(body), &ver); err != nil {
+		t.Fatalf("400 body is not the structured version error: %v\n%s", err, body)
+	}
+	if ver.WireVersion != 99 || ver.Supported != sim.WireVersion || ver.Error == "" {
+		t.Fatalf("version error = %+v, want wire_version 99 and supported %d", ver, sim.WireVersion)
+	}
+}
+
+// TestSweepWireRejectsMixedForms: a point carrying both the "config"
+// wire object and symbolic short-form fields is ambiguous and refused.
+func TestSweepWireRejectsMixedForms(t *testing.T) {
+	cfg := sim.Config{
+		Workload: suiteWorkload(t, workload.Names()[0]), CoreType: tech.OoO,
+		Cores: 8, LLCMB: 2,
+	}
+	wc, err := cfg.Wire()
+	if err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	p, err := WirePoint(wc)
+	if err != nil {
+		t.Fatalf("WirePoint: %v", err)
+	}
+	p.Workload = cfg.Workload.Name // reintroduce a symbolic field
+	if _, _, err := p.config(); err == nil {
+		t.Fatal("config() accepted a point mixing wire and symbolic forms")
+	}
+
+	// And over HTTP, it is a plain 400, not a version error.
+	srv := httptest.NewServer(New(nil))
+	t.Cleanup(srv.Close)
+	status, body := postSweep(t, srv.URL, SweepRequest{Points: []SweepPoint{p}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", status, body)
+	}
+}
+
+// TestSweepWireRejectsInvalidConfig: decode validates wire configs with
+// the same rules that gate locally constructed points.
+func TestSweepWireRejectsInvalidConfig(t *testing.T) {
+	srv := httptest.NewServer(New(nil))
+	t.Cleanup(srv.Close)
+
+	cfg := sim.Config{
+		Workload: suiteWorkload(t, workload.Names()[0]), CoreType: tech.OoO,
+		Cores: 4, LLCMB: 2,
+	}
+	wc, err := cfg.Wire()
+	if err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	wc.Workload.Alpha = 17 // outside Validate's range
+	raw, _ := json.Marshal(wc)
+	status, body := postSweep(t, srv.URL, SweepRequest{Points: []SweepPoint{{Config: raw}}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for an invalid wire workload: %s", status, body)
 	}
 }

@@ -99,7 +99,17 @@ func Calibrate(ctx context.Context, opts Options) (*Calibration, error) {
 	var recs []recorded
 	sem := make(chan struct{}, eng.Workers())
 	eng.SetRoute(func(rctx context.Context, key string, payload any) (any, bool, error) {
-		switch payload.(type) {
+		// Points arrive as their wire form (sim.WireConfig, the one
+		// representation the routing layer speaks); decode back to the
+		// configuration being simulated. Raw configs are accepted too
+		// for callers that route them directly.
+		switch p := payload.(type) {
+		case sim.WireConfig:
+			cfg, err := p.Decode()
+			if err != nil {
+				return nil, false, nil
+			}
+			payload = cfg
 		case sim.Config, sim.StructuralConfig:
 		default:
 			return nil, false, nil
