@@ -29,6 +29,12 @@
 //	                             ... additionally serve certified interior
 //	                             points from the analytic surrogate
 //	                             (approximate, explicitly opted in)
+//	soproc -all -trace-level decisions -trace-out trace.jsonl
+//	                             stream one JSON line per engine decision
+//	                             (memo hit, store hit, remote, simulated,
+//	                             eviction) to trace.jsonl — stderr when
+//	                             -trace-out is empty. Stdout stays
+//	                             byte-identical to an untraced run
 //
 // To serve the same experiments and ad-hoc sweeps over HTTP from a
 // long-running process, see cmd/soprocd; its /v1/exp/{id} responses are
@@ -51,17 +57,22 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"scaleout/internal/cluster"
 	"scaleout/internal/exp"
+	"scaleout/internal/exp/engine"
 	"scaleout/internal/figures"
+	"scaleout/internal/metrics"
 	"scaleout/internal/store"
 	"scaleout/internal/tier"
 )
@@ -84,7 +95,14 @@ func main() {
 	benchOut := flag.String("bench-out", "BENCH_kernel.json", "benchmark report path (with -bench)")
 	benchIters := flag.Int("bench-iters", 5, "measured iterations per benchmark point (with -bench)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (with -bench)")
+	traceLevel := flag.String("trace-level", "off", "decision tracing: off, or decisions to stream one JSON line per engine decision to -trace-out")
+	traceOut := flag.String("trace-out", "", "decision-trace destination path (with -trace-level decisions; empty = stderr)")
 	flag.Parse()
+	if *traceLevel != "off" && *traceLevel != "decisions" {
+		fmt.Fprintf(os.Stderr, "soproc: -trace-level must be off or decisions, got %q\n", *traceLevel)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *bench {
 		if err := runBench(*benchOut, *benchIters, *parallel, *cpuProfile); err != nil {
@@ -103,6 +121,17 @@ func main() {
 	}
 
 	eng := exp.New(*parallel)
+	if *traceLevel == "decisions" {
+		flush, err := traceDecisions(eng, *traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "soproc: trace:", err)
+			}
+		}()
+	}
 	var st *store.Store
 	if *useStore {
 		st, err = store.Open(*storeDir)
@@ -240,6 +269,60 @@ func writeStatsJSON(path string, eng *exp.Engine, st *store.Store, coord *cluste
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// traceDecisions streams every engine decision as one JSON line
+// (metrics.Decision shape, keys condensed to fingerprints) to path —
+// stderr when path is empty — and returns the flush-and-close
+// function. Trace output never touches stdout, so a traced run's
+// tables stay byte-identical to an untraced run's.
+func traceDecisions(eng *exp.Engine, path string) (flush func() error, err error) {
+	w := io.Writer(os.Stderr)
+	var f *os.File
+	if path != "" && path != "-" {
+		f, err = os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	var (
+		mu  sync.Mutex
+		seq uint64
+	)
+	eng.SetDecisionHook(func(d engine.Decision) {
+		mu.Lock()
+		defer mu.Unlock()
+		seq++
+		// Encode into the buffered writer only; a disk flush per point
+		// would put file latency on the engine's resolution path.
+		enc.Encode(metrics.Decision{
+			Seq:              seq,
+			UnixNanos:        time.Now().UnixNano(),
+			Key:              metrics.KeyFingerprint(d.Key),
+			Source:           d.Source,
+			Replica:          d.Replica,
+			Rank:             d.Rank,
+			Retries:          d.Retries,
+			QueueWaitSeconds: d.QueueWait.Seconds(),
+			LatencySeconds:   d.Latency.Seconds(),
+			Err:              d.Err,
+		})
+	})
+	return func() error {
+		eng.SetDecisionHook(nil)
+		mu.Lock()
+		defer mu.Unlock()
+		ferr := bw.Flush()
+		if f != nil {
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		return ferr
+	}, nil
 }
 
 func fail(err error) {

@@ -34,6 +34,11 @@
 //	                                 (0 = 4*GOMAXPROCS)
 //	soprocd -request-timeout 5m      per-request deadline for admitted
 //	                                 requests (0 = untimed)
+//	soprocd -trace-level decisions   record a ring of per-point decision
+//	                                 traces (source, replica, retries,
+//	                                 queue wait, latency) served by
+//	                                 GET /v1/trace; -trace-cap bounds the
+//	                                 ring (default 4096)
 //
 // Endpoints (see internal/serve):
 //
@@ -41,6 +46,11 @@
 //	GET  /statsz               engine statistics: memo hits, misses,
 //	                           evictions, resident size and capacity,
 //	                           in-flight work, worker count
+//	GET  /metricsz             Prometheus text-format metrics for every
+//	                           active subsystem (engine, tier, server,
+//	                           plus store/cluster/admit when enabled)
+//	GET  /v1/trace             newest decision-trace records (JSON;
+//	                           enabled:false without -trace-level)
 //	GET  /v1/experiments       registered experiment IDs
 //	GET  /v1/exp/{id}          one experiment (or "all"), format=table|csv;
 //	                           byte-identical to the soproc CLI's output
@@ -107,10 +117,21 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 128, "waiting requests per priority lane once -max-inflight is reached; full lanes shed with 429 (0 = default 128, negative = no queue)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrently admitted requests (0 = 4*GOMAXPROCS)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline for admitted requests (0 = untimed)")
+	traceLevel := flag.String("trace-level", "off", "decision tracing: off, or decisions to record per-point traces served by GET /v1/trace")
+	traceCap := flag.Int("trace-cap", 0, "decision-trace ring capacity (0 = default 4096)")
 	flag.Parse()
+	switch *traceLevel {
+	case "off", "decisions":
+	default:
+		log.Fatalf("soprocd: -trace-level must be off or decisions, got %q", *traceLevel)
+	}
 
 	eng := exp.NewBounded(*parallel, *memoCap)
 	srv := serve.New(eng)
+	obs := srv.EnableObservability(serve.ObservabilityOptions{
+		TraceDecisions: *traceLevel == "decisions",
+		TraceCapacity:  *traceCap,
+	})
 	var st *store.Store
 	if *useStore {
 		var err error
@@ -120,6 +141,7 @@ func main() {
 		}
 		eng.SetStore(st)
 		srv.SetStoreStats(func() any { return st.Stats() })
+		st.RegisterMetrics(obs.Registry)
 		log.Printf("soprocd: store %s: %d results re-warmed from disk", *storeDir, st.Len())
 	}
 	if *calPath != "" {
@@ -138,12 +160,13 @@ func main() {
 		}
 		eng.SetRoute(coord.Route)
 		srv.SetClusterStats(func() any { return coord.Stats() })
+		coord.RegisterMetrics(obs.Registry)
 		log.Printf("soprocd: coordinating %d replicas: %s", len(strings.Split(*peers, ",")), *peers)
 	}
 
 	// Every request is admitted (or shed) before it reaches a handler;
-	// /healthz and /statsz bypass admission so a saturated daemon stays
-	// observable.
+	// /healthz, /statsz, /metricsz, and /v1/trace bypass admission so a
+	// saturated daemon stays observable.
 	ctrl := admit.New(admit.Options{
 		Rate:           *rate,
 		Burst:          *burst,
@@ -152,6 +175,7 @@ func main() {
 		RequestTimeout: *requestTimeout,
 	})
 	srv.SetAdmitStats(func() any { return ctrl.Stats() })
+	ctrl.RegisterMetrics(obs.Registry)
 
 	// Request contexts derive from baseCtx; it stays live through the
 	// drain window so in-flight sweeps finish, then cancels the rest.

@@ -23,6 +23,7 @@ var docAuditDirs = []string{
 	"internal/vclock",
 	"internal/exp",
 	"internal/exp/engine",
+	"internal/metrics",
 	"internal/sim",
 	"internal/store",
 	"internal/tier",

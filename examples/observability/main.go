@@ -1,0 +1,109 @@
+// Observability: the daemon's metrics and decision-trace surfaces,
+// demonstrated end to end in one process. Starts the serve layer with
+// observability enabled — exactly what `soprocd -trace-level
+// decisions` runs behind its flags — drives a sweep with a duplicated
+// point through it, then scrapes `GET /metricsz` (Prometheus text
+// format, parsed back with the package's own strict parser) and reads
+// `GET /v1/trace` to show every point's resolution recorded with its
+// source.
+//
+// Against a real deployment, point a Prometheus scraper at /metricsz;
+// the format is the standard 0.0.4 text exposition.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+
+	"scaleout/internal/exp"
+	"scaleout/internal/metrics"
+	"scaleout/internal/serve"
+	"scaleout/internal/workload"
+)
+
+func main() {
+	eng := exp.NewBounded(0, 1024)
+	srv := serve.New(eng)
+	// soprocd does this when -trace-level decisions is set; without
+	// TraceDecisions, /v1/trace answers {"enabled": false}.
+	srv.EnableObservability(serve.ObservabilityOptions{TraceDecisions: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	fmt.Println("\n== POST /v1/sweep: three points, one duplicated ==")
+	req := serve.SweepRequest{Points: []serve.SweepPoint{
+		{Workload: workload.WebSearch, Core: "ooo", Cores: 16, LLCMB: 2},
+		{Workload: workload.WebSearch, Core: "ooo", Cores: 16, LLCMB: 4},
+		{Workload: workload.WebSearch, Core: "ooo", Cores: 16, LLCMB: 4}, // memo hit
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Println("  status:", resp.Status)
+
+	fmt.Println("\n== GET /metricsz: engine families from the scrape ==")
+	page := getText(base + "/metricsz")
+	fams, err := metrics.ParseText(page)
+	if err != nil {
+		log.Fatalf("scrape does not parse: %v", err)
+	}
+	var names []string
+	for name := range fams {
+		if strings.HasPrefix(name, "soproc_engine_") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := fams[name]
+		for _, s := range fam.Samples {
+			fmt.Printf("  %-45s %g\n", s.Name, s.Value)
+		}
+	}
+
+	fmt.Println("\n== GET /v1/trace?n=10: one decision per point, newest last ==")
+	var trace serve.TraceResponse
+	if err := json.Unmarshal([]byte(getText(base+"/v1/trace?n=10")), &trace); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  enabled=%v capacity=%d total=%d\n", trace.Enabled, trace.Capacity, trace.Total)
+	for _, d := range trace.Decisions {
+		fmt.Printf("  seq %d  key %s  source %-9s latency %.3fms\n",
+			d.Seq, d.Key, d.Source, d.LatencySeconds*1e3)
+	}
+}
+
+func getText(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, b)
+	}
+	return string(b)
+}

@@ -22,9 +22,9 @@
 // (RequestTimeout) propagated via context, and Drain flips the
 // controller into shutdown mode: everything new is refused with 503
 // while in-flight requests finish. The Middleware method wires all of
-// this in front of the serve handler; /healthz and /statsz bypass
-// admission so probes and monitoring still see a saturated or draining
-// daemon.
+// this in front of the serve handler; /healthz, /statsz, /metricsz and
+// /v1/trace bypass admission so probes, scrapes, and trace reads still
+// see a saturated or draining daemon.
 package admit
 
 import (
@@ -448,14 +448,18 @@ func ClientKey(r *http.Request) string {
 }
 
 // Middleware wires the controller in front of next: /healthz and
-// /statsz bypass admission (probes and monitoring must see a saturated
+// /statsz — with /metricsz and /v1/trace, the observability pair —
+// bypass admission (probes and monitoring must see a saturated
 // daemon), every other request is admitted through its lane and — when
 // RequestTimeout is set — runs under a per-request deadline propagated
 // via context. Refusals are structured ErrorBody responses with
 // Retry-After where applicable.
 func (c *Controller) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/statsz" {
+		switch r.URL.Path {
+		case "/healthz", "/statsz", "/metricsz", "/v1/trace":
+			// Probes, scrapes, and trace reads bypass admission: a
+			// saturated or draining daemon must stay observable.
 			next.ServeHTTP(w, r)
 			return
 		}

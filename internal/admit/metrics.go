@@ -1,0 +1,73 @@
+package admit
+
+import "scaleout/internal/metrics"
+
+// RegisterMetrics registers the controller's admission counters on reg
+// under the soproc_admit_* namespace, including the per-lane families
+// labeled by lane name. Values are read from the same counters Stats()
+// snapshots, at scrape time, so admission's hot path gains no new
+// writes.
+func (c *Controller) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("soproc_admit_admitted_total",
+		"requests granted an execution slot (all lanes)",
+		func() float64 { return float64(c.Stats().Admitted) })
+	reg.CounterFunc("soproc_admit_rate_limited_total",
+		"requests shed by a client's empty token bucket (429)",
+		func() float64 { return float64(c.Stats().RateLimited) })
+	reg.CounterFunc("soproc_admit_shed_queue_full_total",
+		"requests shed by a full admission queue (429)",
+		func() float64 { return float64(c.Stats().ShedQueueFull) })
+	reg.CounterFunc("soproc_admit_shed_draining_total",
+		"requests refused during drain (503)",
+		func() float64 { return float64(c.Stats().ShedDraining) })
+	reg.CounterFunc("soproc_admit_abandoned_total",
+		"queue waits given up by deadline or disconnect",
+		func() float64 { return float64(c.Stats().Abandoned) })
+	reg.GaugeFunc("soproc_admit_in_flight_requests",
+		"admitted requests currently running",
+		func() float64 { return float64(c.Stats().InFlight) })
+	reg.GaugeFunc("soproc_admit_clients",
+		"tracked per-client rate buckets",
+		func() float64 { return float64(c.Stats().Clients) })
+	reg.GaugeFunc("soproc_admit_draining",
+		"1 while the controller is draining",
+		func() float64 {
+			if c.Draining() {
+				return 1
+			}
+			return 0
+		})
+
+	laneLabels := []string{"lane"}
+	laneNames := func() []string {
+		names := make([]string, 0, int(numLanes))
+		for lane := Interactive; lane < numLanes; lane++ {
+			names = append(names, lane.String())
+		}
+		return names
+	}()
+	reg.CounterVecFunc("soproc_admit_lane_admitted_total",
+		"requests granted a slot, per lane",
+		laneLabels, func(emit metrics.EmitFunc) {
+			st := c.Stats()
+			for _, name := range laneNames {
+				emit(float64(st.Lanes[name].Admitted), name)
+			}
+		})
+	reg.CounterVecFunc("soproc_admit_lane_queued_total",
+		"admitted requests that waited in the queue first, per lane",
+		laneLabels, func(emit metrics.EmitFunc) {
+			st := c.Stats()
+			for _, name := range laneNames {
+				emit(float64(st.Lanes[name].Queued), name)
+			}
+		})
+	reg.GaugeVecFunc("soproc_admit_lane_depth",
+		"requests waiting in the queue right now, per lane",
+		laneLabels, func(emit metrics.EmitFunc) {
+			st := c.Stats()
+			for _, name := range laneNames {
+				emit(float64(st.Lanes[name].Depth), name)
+			}
+		})
+}

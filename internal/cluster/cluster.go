@@ -77,6 +77,7 @@ import (
 	"time"
 
 	"scaleout/internal/admit"
+	"scaleout/internal/exp/engine"
 	"scaleout/internal/serve"
 	"scaleout/internal/sim"
 	"scaleout/internal/vclock"
@@ -373,6 +374,7 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 			candidates = append(candidates, rep)
 		}
 	}
+	pointRetries := 0 // same-replica re-attempts for this point, all replicas
 	for attempt, rep := range candidates {
 		for try := 0; ; try++ {
 			res, err := c.enqueue(ctx, rep, wire)
@@ -383,6 +385,14 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 						c.failovers.Add(1)
 					}
 					c.routed.Add(1)
+					// An observed request (engine decision hook installed)
+					// carries a RouteInfo slot: record where the point
+					// actually ran for its trace record.
+					if ri := engine.RouteInfoFrom(ctx); ri != nil {
+						ri.Replica = rep.addr
+						ri.Rank = rankOf(ranked, rep)
+						ri.Retries = pointRetries
+					}
 					return val, true, nil
 				}
 				err = derr
@@ -415,6 +425,7 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 				if try >= c.retries {
 					break
 				}
+				pointRetries++
 				if serr := vclock.Sleep(ctx, c.clock, c.clampHint(be.retryAfter)); serr != nil {
 					return nil, true, serr
 				}
@@ -426,6 +437,7 @@ func (c *Coordinator) Route(ctx context.Context, key string, payload any) (any, 
 				break
 			}
 			c.retried.Add(1)
+			pointRetries++
 			if serr := vclock.Sleep(ctx, c.clock, c.backoff(try)); serr != nil {
 				return nil, true, serr
 			}
@@ -556,6 +568,17 @@ func (c *Coordinator) rank(key string) []*replica {
 		out[i] = s.rep
 	}
 	return out
+}
+
+// rankOf returns rep's position in the ranked rendezvous order
+// (0 = the key's home replica).
+func rankOf(ranked []*replica, rep *replica) int {
+	for i, r := range ranked {
+		if r == rep {
+			return i
+		}
+	}
+	return -1
 }
 
 // decodeResult unwraps one wire result into the value a local compute

@@ -1,0 +1,78 @@
+package cluster
+
+import "scaleout/internal/metrics"
+
+// RegisterMetrics registers the coordinator's routing counters on reg
+// under the soproc_cluster_* namespace, including the per-replica
+// families labeled by replica address. Values are read from the same
+// atomic counters Stats() snapshots, at scrape time; cmd/soprocd calls
+// this when it builds a coordinator, so a -peers daemon's /metricsz
+// page carries its routing picture next to its engine's.
+func (c *Coordinator) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("soproc_cluster_routed_points_total",
+		"points answered by a replica",
+		func() float64 { return float64(c.routed.Load()) })
+	reg.CounterFunc("soproc_cluster_failovers_total",
+		"points retried past their first-choice owner after a failure",
+		func() float64 { return float64(c.failovers.Load()) })
+	reg.CounterFunc("soproc_cluster_retries_total",
+		"same-replica re-attempts after transient failures",
+		func() float64 { return float64(c.retried.Load()) })
+	reg.CounterFunc("soproc_cluster_busy_total",
+		"429 responses honored (replica shedding load, Retry-After waited out)",
+		func() float64 { return float64(c.busy.Load()) })
+	reg.CounterFunc("soproc_cluster_local_fallbacks_total",
+		"points computed locally because every replica failed or rejected them",
+		func() float64 { return float64(c.fallbacks.Load()) })
+	reg.CounterFunc("soproc_cluster_unroutable_total",
+		"points whose payload has no wire form (always computed locally)",
+		func() float64 { return float64(c.unroutable.Load()) })
+	reg.CounterFunc("soproc_cluster_rejects_total",
+		"permanent per-replica rejections (definitive 4xx other than 429)",
+		func() float64 { return float64(c.rejects.Load()) })
+	reg.CounterFunc("soproc_cluster_posts_total",
+		"/v1/sweep requests issued (routed/posts is the batching factor)",
+		func() float64 { return float64(c.posts.Load()) })
+
+	replicaLabels := []string{"replica"}
+	reg.CounterVecFunc("soproc_cluster_replica_sent_points_total",
+		"points each replica answered",
+		replicaLabels, func(emit metrics.EmitFunc) {
+			for _, rep := range c.replicas {
+				emit(float64(rep.sent.Load()), rep.addr)
+			}
+		})
+	reg.CounterVecFunc("soproc_cluster_replica_failures_total",
+		"failed /v1/sweep attempts per replica",
+		replicaLabels, func(emit metrics.EmitFunc) {
+			for _, rep := range c.replicas {
+				emit(float64(rep.failures.Load()), rep.addr)
+			}
+		})
+	reg.CounterVecFunc("soproc_cluster_replica_busy_total",
+		"429 responses shed per replica",
+		replicaLabels, func(emit metrics.EmitFunc) {
+			for _, rep := range c.replicas {
+				emit(float64(rep.busy.Load()), rep.addr)
+			}
+		})
+	reg.CounterVecFunc("soproc_cluster_replica_probes_total",
+		"/healthz probes issued per replica while in cooldown",
+		replicaLabels, func(emit metrics.EmitFunc) {
+			for _, rep := range c.replicas {
+				emit(float64(rep.probes.Load()), rep.addr)
+			}
+		})
+	reg.GaugeVecFunc("soproc_cluster_replica_down",
+		"1 while the replica is in failure cooldown",
+		replicaLabels, func(emit metrics.EmitFunc) {
+			now := c.clock.Now()
+			for _, rep := range c.replicas {
+				v := 0.0
+				if rep.down(now) {
+					v = 1
+				}
+				emit(v, rep.addr)
+			}
+		})
+}

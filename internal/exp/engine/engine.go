@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Engine is a parallel, memoizing work runner. The zero value is not
@@ -45,6 +46,11 @@ type Engine struct {
 	// probed on every memo miss before the work is routed or computed,
 	// and written through on every successful computation; see Store.
 	store atomic.Pointer[Store]
+
+	// decision, when set (SetDecisionHook), observes every memoized
+	// point's resolution and every eviction; see Decision. With no hook
+	// installed the hot path takes no timestamps.
+	decision decisionHookPtr
 
 	mu       sync.Mutex
 	memo     map[string]*memoEntry
@@ -333,6 +339,9 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 		return compute()
 	}
 
+	hook := e.loadDecisionHook()
+	start := decisionClock(hook)
+
 	var ent *memoEntry
 	for {
 		e.mu.Lock()
@@ -352,6 +361,9 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 					continue
 				}
 				e.hits.Add(1)
+				if hook != nil {
+					(*hook)(Decision{Key: key, Source: "memo", Latency: time.Since(start), Err: err != nil})
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -376,6 +388,9 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 	// holding a worker slot or a network round-trip, and counts as a
 	// store hit rather than a miss — the point was never simulated.
 	if val, ok := e.storeLoad(key); ok {
+		if hook != nil {
+			(*hook)(Decision{Key: key, Source: "store", Latency: time.Since(start)})
+		}
 		return e.finish(ent, key, val, nil)
 	}
 
@@ -385,16 +400,30 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 	// wait on this one routed flight.
 	if payload != nil && !routingDisabled(ctx) {
 		if rp := e.route.Load(); rp != nil {
-			if val, handled, rerr := (*rp)(ctx, key, payload); handled {
+			// Only observed requests pay for the RouteInfo allocation;
+			// the router finds the slot with RouteInfoFrom and fills in
+			// where the point actually ran.
+			rctx := ctx
+			var ri *RouteInfo
+			if hook != nil {
+				rctx, ri = withRouteInfo(ctx)
+			}
+			if val, handled, rerr := (*rp)(rctx, key, payload); handled {
 				if rerr == nil {
 					e.remote.Add(1)
 					e.storeSave(key, val)
+				}
+				if hook != nil && !IsCancellation(rerr) {
+					d := Decision{Key: key, Source: "remote", Latency: time.Since(start), Err: rerr != nil}
+					d.Replica, d.Rank, d.Retries = ri.Replica, ri.Rank, ri.Retries
+					(*hook)(d)
 				}
 				return e.finish(ent, key, val, rerr)
 			}
 		}
 	}
 
+	acquireStart := decisionClock(hook)
 	if err := e.acquire(ctx); err != nil {
 		// Never computed: withdraw the entry so a later call can retry,
 		// and release current waiters with the cancellation.
@@ -408,6 +437,10 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 		close(ent.done)
 		return nil, err
 	}
+	var queueWait time.Duration
+	if hook != nil {
+		queueWait = time.Since(acquireStart)
+	}
 	e.misses.Add(1)
 	e.inflight.Add(1)
 	val, cerr := compute()
@@ -415,6 +448,12 @@ func (e *Engine) DoRouted(ctx context.Context, key string, payload any, compute 
 	e.release()
 	if cerr == nil {
 		e.storeSave(key, val)
+	}
+	// A cancellation withdraws the entry rather than resolving the
+	// point, so it is not a decision worth recording.
+	if hook != nil && !IsCancellation(cerr) {
+		(*hook)(Decision{Key: key, Source: "simulated", QueueWait: queueWait,
+			Latency: time.Since(start), Err: cerr != nil})
 	}
 	return e.finish(ent, key, val, cerr)
 }
@@ -477,6 +516,10 @@ func (e *Engine) unpin(ent *memoEntry) {
 // transiently exceed capacity; the next unpin re-applies the bound.
 // Callers hold e.mu.
 func (e *Engine) trimLocked() {
+	var hook *DecisionHook
+	if e.capacity > 0 && len(e.memo) > e.capacity {
+		hook = e.loadDecisionHook()
+	}
 	for e.capacity > 0 && len(e.memo) > e.capacity {
 		victim := e.lruTail
 		if victim == nil {
@@ -485,6 +528,12 @@ func (e *Engine) trimLocked() {
 		e.lruRemoveLocked(victim)
 		delete(e.memo, victim.key)
 		e.evictions.Add(1)
+		// The hook runs under e.mu here; the DecisionHook contract
+		// (fast, non-blocking, never reenters the engine) makes that
+		// safe.
+		if hook != nil {
+			(*hook)(Decision{Key: victim.key, Source: "evicted"})
+		}
 	}
 }
 
@@ -591,6 +640,9 @@ func (e *Engine) Seed(key string, val any) bool {
 	e.installLocked(key, val)
 	e.mu.Unlock()
 	e.storeSave(key, val)
+	if hook := e.loadDecisionHook(); hook != nil {
+		(*hook)(Decision{Key: key, Source: "seeded"})
+	}
 	return true
 }
 

@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTextRendering locks the exposition format down: HELP/TYPE
+// comments, sorted families, label escaping, histogram expansion.
+func TestTextRendering(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("soproc_test_points_total", "points handled")
+	c.Add(3)
+	g := reg.Gauge("soproc_test_in_flight_points", "points in flight")
+	g.Set(2)
+	g.Add(-1)
+	reg.CounterVecFunc("soproc_test_lane_admitted_total", "per-lane admits",
+		[]string{"lane"}, func(emit EmitFunc) {
+			emit(5, "interactive")
+			emit(7, `we"ird\lane`)
+		})
+
+	text := reg.Text()
+	for _, want := range []string{
+		"# HELP soproc_test_points_total points handled\n",
+		"# TYPE soproc_test_points_total counter\n",
+		"soproc_test_points_total 3\n",
+		"soproc_test_in_flight_points 1\n",
+		`soproc_test_lane_admitted_total{lane="interactive"} 5` + "\n",
+		`soproc_test_lane_admitted_total{lane="we\"ird\\lane"} 7` + "\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, text)
+		}
+	}
+	// Families must render sorted by name.
+	if strings.Index(text, "soproc_test_in_flight_points") > strings.Index(text, "soproc_test_points_total") {
+		t.Errorf("families not sorted by name:\n%s", text)
+	}
+}
+
+// TestHistogram checks cumulative bucket expansion and sum/count.
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("soproc_test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	fams, err := ParseText(reg.Text())
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	fam := fams["soproc_test_latency_seconds"]
+	if fam == nil || fam.Kind != KindHistogram {
+		t.Fatalf("histogram family missing or mistyped: %+v", fam)
+	}
+	wantBuckets := map[string]float64{"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4}
+	for le, want := range wantBuckets {
+		s, ok := fam.Sample(map[string]string{"le": le})
+		if !ok || s.Value != want {
+			t.Errorf("bucket le=%s: got %+v ok=%v, want %v", le, s, ok, want)
+		}
+	}
+	var sum, count float64
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case "soproc_test_latency_seconds_sum":
+			sum = s.Value
+		case "soproc_test_latency_seconds_count":
+			count = s.Value
+		}
+	}
+	if count != 4 || math.Abs(sum-5.555) > 1e-9 {
+		t.Errorf("sum=%v count=%v, want 5.555 and 4", sum, count)
+	}
+}
+
+// TestParseRoundTrip renders a registry and re-parses it: every family
+// must come back with its kind, help, and values intact.
+func TestParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterFunc("soproc_test_routed_points_total", "routed", func() float64 { return 42 })
+	reg.GaugeVecFunc("soproc_test_replica_down", "down flags", []string{"replica"}, func(emit EmitFunc) {
+		emit(1, "10.0.0.1:8080")
+	})
+	fams, err := ParseText(reg.Text())
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if v, ok := fams["soproc_test_routed_points_total"].Value(); !ok || v != 42 {
+		t.Errorf("routed counter: got %v ok=%v", v, ok)
+	}
+	if fams["soproc_test_routed_points_total"].Help != "routed" {
+		t.Errorf("help lost: %+v", fams["soproc_test_routed_points_total"])
+	}
+	s, ok := fams["soproc_test_replica_down"].Sample(map[string]string{"replica": "10.0.0.1:8080"})
+	if !ok || s.Value != 1 {
+		t.Errorf("replica gauge: got %+v ok=%v", s, ok)
+	}
+}
+
+// TestParseRejectsMalformed verifies the parser is strict about the
+// properties the CI lint relies on.
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, page := range []string{
+		"soproc_orphan_total 3\n",                                        // sample without TYPE
+		"# TYPE soproc_x_total counter\nsoproc_x_total x\n",              // non-numeric value
+		"# TYPE soproc_x_total widget\n",                                 // unknown kind
+		"# TYPE soproc_x_total counter\n# TYPE soproc_x_total counter\n", // duplicate
+	} {
+		if _, err := ParseText(page); err == nil {
+			t.Errorf("ParseText accepted malformed page %q", page)
+		}
+	}
+}
+
+// TestHandler serves a scrape over HTTP with the 0.0.4 content type.
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("soproc_test_points_total", "points").Inc()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Errorf("Content-Type = %q, want %q", got, ContentType)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "soproc_test_points_total 1") {
+		t.Errorf("scrape body missing counter: %s", buf[:n])
+	}
+}
+
+// TestDuplicateRegistrationPanics locks in fail-fast registration.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("soproc_test_points_total", "points")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	reg.Counter("soproc_test_points_total", "again")
+}
+
+// TestDecisionLogRing checks wraparound, ordering, and Seq continuity.
+func TestDecisionLogRing(t *testing.T) {
+	l := NewDecisionLog(4)
+	for i := 0; i < 10; i++ {
+		l.Add(Decision{Key: fmt.Sprintf("k%d", i), Source: "memo"})
+	}
+	if l.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", l.Total())
+	}
+	last := l.Last(0)
+	if len(last) != 4 {
+		t.Fatalf("Last(0) returned %d records, want 4", len(last))
+	}
+	for i, d := range last {
+		wantKey := fmt.Sprintf("k%d", 6+i)
+		if d.Key != wantKey || d.Seq != uint64(7+i) {
+			t.Errorf("record %d = %+v, want key %s seq %d", i, d, wantKey, 7+i)
+		}
+	}
+	if two := l.Last(2); len(two) != 2 || two[1].Key != "k9" {
+		t.Errorf("Last(2) = %+v", two)
+	}
+}
+
+// TestDecisionLogConcurrent hammers the ring from many goroutines
+// while a reader snapshots it — run under -race this is the ring's
+// safety proof.
+func TestDecisionLogConcurrent(t *testing.T) {
+	l := NewDecisionLog(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Add(Decision{Key: KeyFingerprint(fmt.Sprintf("w%d-%d", w, i)), Source: "simulated"})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			l.Last(16)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if l.Total() != 8*500 {
+		t.Fatalf("Total = %d, want %d", l.Total(), 8*500)
+	}
+}
+
+// TestKeyFingerprint pins stability and distinctness.
+func TestKeyFingerprint(t *testing.T) {
+	a, b := KeyFingerprint("config-a"), KeyFingerprint("config-b")
+	if a == b || a == "" {
+		t.Errorf("fingerprints not distinct: %q %q", a, b)
+	}
+	if KeyFingerprint("config-a") != a {
+		t.Error("fingerprint not stable")
+	}
+	if KeyFingerprint("") != "" {
+		t.Error("empty key must fingerprint to empty")
+	}
+}
+
+// TestDecisionLogTimestamps verifies records carry the injected clock.
+func TestDecisionLogTimestamps(t *testing.T) {
+	l := NewDecisionLog(2)
+	fixed := time.Unix(1700000000, 42)
+	l.clock = func() time.Time { return fixed }
+	l.Add(Decision{Source: "memo"})
+	if got := l.Last(1)[0].UnixNanos; got != fixed.UnixNano() {
+		t.Errorf("UnixNanos = %d, want %d", got, fixed.UnixNano())
+	}
+}

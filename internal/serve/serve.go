@@ -82,6 +82,10 @@ type Server struct {
 	// SetTier swaps in a calibrated one (soprocd -calibration).
 	tier *tier.Evaluator
 
+	// obs, if set (EnableObservability), is the live instrumentation
+	// behind GET /metricsz and GET /v1/trace.
+	obs *Observability
+
 	// clusterStats, if set (SetClusterStats), supplies the /statsz
 	// "cluster" section for a coordinator daemon.
 	clusterStats func() any
@@ -124,6 +128,7 @@ func (s *Server) SetTier(ev *tier.Evaluator) {
 		ev = tier.New(nil, tier.Exact)
 	}
 	s.tier = ev
+	s.installTierHook()
 }
 
 // New returns a server running every request on eng (nil selects the

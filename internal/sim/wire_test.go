@@ -61,6 +61,48 @@ func randWorkload(rng *rand.Rand) workload.Workload {
 	return w
 }
 
+// randBase draws one randomized base configuration — the shared
+// generator behind the round-trip property test and FuzzUnmarshalWire's
+// seed corpus (both walk it from seed 7).
+func randBase(rng *rand.Rand) Config {
+	cores := 1 << rng.Intn(8)
+	base := Config{
+		Workload: randWorkload(rng),
+		CoreType: tech.CoreType(rng.Intn(3)),
+		Cores:    cores,
+		LLCMB:    0.5 * float64(1+rng.Intn(32)),
+		Net:      randNet(rng, cores),
+	}
+	if rng.Intn(2) == 0 {
+		base.MemChannels = 1 + rng.Intn(8)
+	}
+	if rng.Intn(2) == 0 {
+		base.WarmupCycles = 1000 * (1 + rng.Intn(50))
+	}
+	if rng.Intn(2) == 0 {
+		base.MeasureCycles = 1000 * (1 + rng.Intn(100))
+	}
+	if rng.Intn(2) == 0 {
+		base.Seed = rng.Uint64()
+	}
+	return base
+}
+
+// randStructural reshapes a base configuration into the structural
+// variant the property test uses for odd samples.
+func randStructural(rng *rand.Rand, base Config) StructuralConfig {
+	cfg := StructuralConfig{
+		Workload: base.Workload, CoreType: base.CoreType, Cores: base.Cores,
+		LLCMB: base.LLCMB, Net: base.Net, MemChannels: base.MemChannels,
+		WarmupCycles: base.WarmupCycles, MeasureCycles: base.MeasureCycles,
+		Seed: base.Seed,
+	}
+	if rng.Intn(2) == 0 {
+		cfg.L1MSHRs = 4 << rng.Intn(5)
+	}
+	return cfg
+}
+
 // TestWireRoundTripRandomized is the wire form's property test: for
 // randomized configurations across every noc kind — perturbed
 // WireDelta/Concentration/ExpressLinks/TileEdge/LinkBits and mutated
@@ -70,26 +112,7 @@ func randWorkload(rng *rand.Rand) workload.Workload {
 func TestWireRoundTripRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 300; i++ {
-		cores := 1 << rng.Intn(8)
-		base := Config{
-			Workload: randWorkload(rng),
-			CoreType: tech.CoreType(rng.Intn(3)),
-			Cores:    cores,
-			LLCMB:    0.5 * float64(1+rng.Intn(32)),
-			Net:      randNet(rng, cores),
-		}
-		if rng.Intn(2) == 0 {
-			base.MemChannels = 1 + rng.Intn(8)
-		}
-		if rng.Intn(2) == 0 {
-			base.WarmupCycles = 1000 * (1 + rng.Intn(50))
-		}
-		if rng.Intn(2) == 0 {
-			base.MeasureCycles = 1000 * (1 + rng.Intn(100))
-		}
-		if rng.Intn(2) == 0 {
-			base.Seed = rng.Uint64()
-		}
+		base := randBase(rng)
 
 		if i%2 == 0 {
 			cfg := base
@@ -114,15 +137,7 @@ func TestWireRoundTripRandomized(t *testing.T) {
 				t.Fatalf("sample %d: round-trip key mismatch:\n got %s\nwant %s", i, got.Key(), cfg.Key())
 			}
 		} else {
-			cfg := StructuralConfig{
-				Workload: base.Workload, CoreType: base.CoreType, Cores: base.Cores,
-				LLCMB: base.LLCMB, Net: base.Net, MemChannels: base.MemChannels,
-				WarmupCycles: base.WarmupCycles, MeasureCycles: base.MeasureCycles,
-				Seed: base.Seed,
-			}
-			if rng.Intn(2) == 0 {
-				cfg.L1MSHRs = 4 << rng.Intn(5)
-			}
+			cfg := randStructural(rng, base)
 			data, err := cfg.MarshalWire()
 			if err != nil {
 				t.Fatalf("sample %d: structural MarshalWire: %v", i, err)

@@ -1,0 +1,33 @@
+package store
+
+import "scaleout/internal/metrics"
+
+// RegisterMetrics registers the store's counters on reg under the
+// soproc_store_* namespace. Values come from the same counters Stats()
+// snapshots, read at scrape time.
+func (s *Store) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("soproc_store_disk_hits_total",
+		"Load probes answered from disk (memo misses that skipped compute)",
+		func() float64 { return float64(s.Stats().DiskHits) })
+	reg.CounterFunc("soproc_store_disk_misses_total",
+		"Load probes that found nothing and went on to compute",
+		func() float64 { return float64(s.Stats().DiskMisses) })
+	reg.CounterFunc("soproc_store_appends_total",
+		"records written by this process",
+		func() float64 { return float64(s.Stats().Appends) })
+	reg.CounterFunc("soproc_store_compactions_total",
+		"snapshot rewrites of the log",
+		func() float64 { return float64(s.Stats().Compactions) })
+	reg.CounterFunc("soproc_store_save_errors_total",
+		"appends abandoned on a write error (log rolled back to a record boundary)",
+		func() float64 { return float64(s.Stats().SaveErrors) })
+	reg.CounterFunc("soproc_store_loaded_records_total",
+		"records Open replayed from disk at startup",
+		func() float64 { return float64(s.Stats().Loaded) })
+	reg.GaugeFunc("soproc_store_entries",
+		"live keys in the store index",
+		func() float64 { return float64(s.Stats().Entries) })
+	reg.GaugeFunc("soproc_store_log_bytes",
+		"current length of the append-only log",
+		func() float64 { return float64(s.Stats().Bytes) })
+}

@@ -111,6 +111,36 @@ type Evaluator struct {
 	anchorHits      atomic.Int64
 	surrogateServed atomic.Int64
 	escalated       atomic.Int64
+
+	// decision, when set (SetDecisionHook), observes every point the
+	// evaluator answers without touching the engine: anchor-store hits
+	// and surrogate-served points. Escalated points reach the engine
+	// and are observed there.
+	decision atomic.Pointer[DecisionHook]
+}
+
+// DecisionHook receives one record per point the evaluator served
+// itself, with the point's canonical key and the serving tier as
+// source: "anchor" (calibration anchor store) or "surrogate" (analytic
+// model, fast mode). Hooks must be fast and non-blocking; they run
+// synchronously on the evaluation path.
+type DecisionHook func(key, source string)
+
+// SetDecisionHook installs fn as the evaluator's decision observer; a
+// nil fn removes it.
+func (ev *Evaluator) SetDecisionHook(fn DecisionHook) {
+	if fn == nil {
+		ev.decision.Store(nil)
+		return
+	}
+	ev.decision.Store(&fn)
+}
+
+// emitDecision reports one self-served point to the installed hook.
+func (ev *Evaluator) emitDecision(key, source string) {
+	if hook := ev.decision.Load(); hook != nil {
+		(*hook)(key, source)
+	}
 }
 
 // New builds an evaluator from a calibration (nil means uncalibrated:
@@ -326,11 +356,13 @@ func (ev *Evaluator) SimsDecided(ctx context.Context, cfgs []sim.Config, d Decis
 			if r, ok := ev.simAnchors[keys[i]]; ok {
 				out[i] = r
 				ev.anchorHits.Add(1)
+				ev.emitDecision(keys[i], "anchor")
 				continue
 			}
 			if mode == Fast && !boundary[i] && !math.IsInf(bands[i], 1) {
 				out[i] = surrogateSimResult(ests[i])
 				ev.surrogateServed.Add(1)
+				ev.emitDecision(keys[i], "surrogate")
 				continue
 			}
 			boundary[i] = true // escalated for any reason counts as boundary in the report
@@ -402,11 +434,13 @@ func (ev *Evaluator) StructuralsDecided(ctx context.Context, cfgs []sim.Structur
 			if r, ok := ev.structAnchors[keys[i]]; ok {
 				out[i] = r
 				ev.anchorHits.Add(1)
+				ev.emitDecision(keys[i], "anchor")
 				continue
 			}
 			if mode == Fast && !boundary[i] && !math.IsInf(bands[i], 1) {
 				out[i] = surrogateStructuralResult(ests[i])
 				ev.surrogateServed.Add(1)
+				ev.emitDecision(keys[i], "surrogate")
 				continue
 			}
 			boundary[i] = true
